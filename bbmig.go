@@ -1,0 +1,79 @@
+// Package bbmig is the public facade of the block-bitmap whole-system live
+// VM migration library, a reproduction of Luo et al., "Live and Incremental
+// Whole-System Migration of Virtual Machines Using Block-Bitmap" (IEEE
+// CLUSTER 2008).
+//
+// The library migrates a virtual machine's complete run-time state — local
+// disk storage, memory, and CPU state — between two hosts with no shared
+// storage, keeping the VM live throughout:
+//
+//	src := bbmig.Host{VM: guest, Backend: blkback.NewBackend(disk, guest.DomainID)}
+//	report, err := bbmig.MigrateSource(bbmig.Config{}, src, conn, nil)
+//
+// Three phases (§IV): pre-copy iteratively ships the disk then memory while
+// a block-bitmap records concurrent writes; freeze-and-copy suspends the VM
+// just long enough to send the final dirty pages, CPU state, and the bitmap;
+// post-copy resumes the VM on the destination while the source pushes the
+// remaining dirty blocks and the destination pulls any the guest reads
+// first. Passing a bitmap from a previous migration's destination gate as
+// the `initial` argument performs Incremental Migration back (§V).
+//
+// Subpackages (internal/...) hold the substrates: bitmap, blockdev, blkback,
+// transport, vm, workload, metrics, and the paper-scale simulator sim. The
+// examples/ directory shows complete wirings; cmd/bbmig is a runnable
+// migration daemon and cmd/bbench regenerates every table and figure of the
+// paper's evaluation.
+package bbmig
+
+import (
+	"bbmig/internal/bitmap"
+	"bbmig/internal/core"
+	"bbmig/internal/metrics"
+	"bbmig/internal/transport"
+)
+
+// Config parameterizes a migration; the zero value uses the paper's
+// defaults. See core.Config for field documentation.
+type Config = core.Config
+
+// Host bundles one machine's VM and block backend.
+type Host = core.Host
+
+// Router switches the guest's I/O path across the migration and implements
+// the freeze window.
+type Router = core.Router
+
+// DestResult is the destination side's outcome, carrying the post-copy gate
+// whose fresh bitmap seeds an incremental migration back.
+type DestResult = core.DestResult
+
+// Report carries the paper's §III-A metrics for one migration run.
+type Report = metrics.Report
+
+// Bitmap is the block-bitmap used to select blocks for incremental
+// migration.
+type Bitmap = bitmap.Bitmap
+
+// NewRouter returns a Router initially routing to submit.
+var NewRouter = core.NewRouter
+
+// MigrateSource runs the source side of a three-phase migration. A nil
+// initial bitmap migrates the whole disk; a previous DestResult's
+// Gate.FreshBitmap() migrates incrementally.
+var MigrateSource = core.MigrateSource
+
+// MigrateDest runs the destination side of a three-phase migration.
+var MigrateDest = core.MigrateDest
+
+// Dial connects to a destination migration daemon over TCP.
+var Dial = transport.Dial
+
+// Listen opens a TCP listener for incoming migrations.
+var Listen = transport.Listen
+
+// Accept wraps an accepted connection as a migration transport.
+var Accept = transport.Accept
+
+// NewPipe returns two connected in-process transports, for tests and
+// single-process demonstrations.
+var NewPipe = transport.NewPipe

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+// TestExperimentPrintersRun smoke-runs every experiment printer except the
+// slow Table III microbenchmark; each must complete without panicking.
+// Output correctness is asserted in internal/sim's tests — this covers the
+// rendering glue.
+func TestExperimentPrintersRun(t *testing.T) {
+	for name, fn := range map[string]func(int64, int){
+		"table1":               table1,
+		"table2":               table2,
+		"fig5":                 fig5,
+		"fig6":                 fig6,
+		"iters":                iters,
+		"locality":             locality,
+		"granularity":          granularity,
+		"downtime-granularity": downtimeGranularity,
+		"availability":         availability,
+		"schemes":              schemes,
+	} {
+		name, fn := name, fn
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			fn(1, 5)
+		})
+	}
+}

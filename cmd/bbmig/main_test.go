@@ -1,0 +1,204 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bbmig/internal/bitmap"
+	"bbmig/internal/blockdev"
+	"bbmig/internal/transport"
+	"bbmig/internal/workload"
+)
+
+func TestPickWorkload(t *testing.T) {
+	cases := map[string]struct {
+		kind workload.Kind
+		ok   bool
+	}{
+		"web":        {workload.Web, true},
+		"stream":     {workload.Stream, true},
+		"diabolical": {workload.Diabolic, true},
+		"kernel":     {workload.Kernel, true},
+		"none":       {0, false},
+		"":           {0, false},
+		"bogus":      {0, false},
+	}
+	for in, want := range cases {
+		kind, ok := pickWorkload(in)
+		if ok != want.ok || (ok && kind != want.kind) {
+			t.Errorf("pickWorkload(%q) = %v, %v", in, kind, ok)
+		}
+	}
+}
+
+func TestOpenOrCreate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	d, err := openOrCreate(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumBlocks() != 1<<20/blockdev.BlockSize {
+		t.Fatalf("NumBlocks = %d", d.NumBlocks())
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	buf[0] = 0xAA
+	d.WriteBlock(3, buf)
+	d.Close()
+	// reopening keeps contents and ignores the size hint
+	d2, err := openOrCreate(path, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumBlocks() != 1<<20/blockdev.BlockSize {
+		t.Fatal("existing image resized")
+	}
+	got := make([]byte, blockdev.BlockSize)
+	d2.ReadBlock(3, got)
+	if got[0] != 0xAA {
+		t.Fatal("contents lost on reopen")
+	}
+}
+
+func TestWrapCompress(t *testing.T) {
+	a, _ := transport.NewPipe(1)
+	same, err := wrapCompress(a, false)
+	if err != nil || same != a {
+		t.Fatal("off: must return the conn unchanged")
+	}
+	wrapped, err := wrapCompress(a, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := wrapped.(*transport.Compressed); !ok {
+		t.Fatalf("on: got %T", wrapped)
+	}
+}
+
+func TestImagesEqual(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a")
+	b := filepath.Join(dir, "b")
+	for _, p := range []string{a, b} {
+		d, err := blockdev.CreateFileDisk(p, 4, blockdev.BlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Close()
+	}
+	same, err := imagesEqual(a, b)
+	if err != nil || !same {
+		t.Fatalf("identical images: %v %v", same, err)
+	}
+	d, _ := blockdev.OpenFileDisk(b, blockdev.BlockSize)
+	buf := make([]byte, blockdev.BlockSize)
+	buf[0] = 1
+	d.WriteBlock(2, buf)
+	d.Close()
+	same, err = imagesEqual(a, b)
+	if err != nil || same {
+		t.Fatalf("differing images: %v %v", same, err)
+	}
+	if _, err := imagesEqual(a, filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing image accepted")
+	}
+}
+
+// TestSendRecvRoundTripWithIM drives the real CLI paths end to end over
+// loopback TCP: primary migration with compression and fresh-bitmap
+// persistence, then an incremental migration back seeded from the saved
+// bitmap file.
+func TestSendRecvRoundTripWithIM(t *testing.T) {
+	dir := t.TempDir()
+	srcImg := filepath.Join(dir, "src.img")
+	dstImg := filepath.Join(dir, "dst.img")
+	bmPath := filepath.Join(dir, "fresh.bitmap")
+	const sizeMB, memMB = 8, 2
+
+	// Pre-populate the source image.
+	d, err := openOrCreate(srcImg, sizeMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	for n := 0; n < d.NumBlocks(); n += 5 {
+		workload.FillBlock(buf, n, 0)
+		d.WriteBlock(n, buf)
+	}
+	d.Close()
+
+	// Primary migration src → dst with compression and bitmap persistence.
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recvDone := make(chan error, 1)
+	go func() { recvDone <- recvServe(l, dstImg, sizeMB, memMB, true, bmPath) }()
+	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, true, ""); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := <-recvDone; err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	same, err := imagesEqual(srcImg, dstImg)
+	if err != nil || !same {
+		t.Fatalf("images differ after primary migration: %v %v", same, err)
+	}
+	bm, err := bitmap.LoadFile(bmPath)
+	if err != nil {
+		t.Fatalf("fresh bitmap not persisted: %v", err)
+	}
+	if bm.Len() != sizeMB<<20/blockdev.BlockSize {
+		t.Fatalf("bitmap covers %d blocks", bm.Len())
+	}
+
+	// Dirty a few blocks on the destination (work done "at home") and
+	// record them in the bitmap file, as the daemon's gate would have.
+	d2, err := blockdev.OpenFileDisk(dstImg, blockdev.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 100} {
+		workload.FillBlock(buf, n, 9)
+		d2.WriteBlock(n, buf)
+		bm.Set(n)
+	}
+	d2.Close()
+	if err := bm.SaveFile(bmPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Incremental migration dst → src seeded from the bitmap file.
+	l2, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recvDone2 := make(chan error, 1)
+	go func() { recvDone2 <- recvServe(l2, srcImg, sizeMB, memMB, false, "") }()
+	if err := runSend(l2.Addr().String(), dstImg, sizeMB, memMB, "none", 0, 1, 1, false, bmPath); err != nil {
+		t.Fatalf("IM send: %v", err)
+	}
+	if err := <-recvDone2; err != nil {
+		t.Fatalf("IM recv: %v", err)
+	}
+	same, err = imagesEqual(srcImg, dstImg)
+	if err != nil || !same {
+		t.Fatalf("images differ after incremental migration back: %v %v", same, err)
+	}
+}
+
+// TestRunSendValidation covers the argument checks.
+func TestRunSendValidation(t *testing.T) {
+	if err := runSend("", "", 1, 1, "none", 0, 1, 1, false, ""); err == nil {
+		t.Fatal("missing args accepted")
+	}
+	if err := runRecv(":0", "", 1, 1, false, ""); err == nil {
+		t.Fatal("recv without image accepted")
+	}
+	if !strings.Contains(runSend("", "", 1, 1, "none", 0, 1, 1, false, "").Error(), "-addr") {
+		t.Fatal("unhelpful error")
+	}
+}

@@ -1,0 +1,129 @@
+// Command bbtrace records, inspects, and analyzes block-I/O traces — the
+// instrumentation behind the paper's §IV-A-2 write-locality measurements.
+//
+//	bbtrace -mode record -workload web -minutes 30 -out web.trace
+//	bbtrace -mode analyze -in web.trace
+//	bbtrace -mode analyze -workload diabolical       # analyze live, no file
+//
+// Recorded traces replay through the migration engine exactly like the
+// built-in generators (workload.LoadTrace returns a Generator), so a trace
+// captured from one experiment can drive another reproducibly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bbmig/internal/blockdev"
+	"bbmig/internal/workload"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "", "record | analyze")
+		wl      = flag.String("workload", "", "workload to record/analyze: web|stream|diabolical|kernel")
+		in      = flag.String("in", "", "trace file to analyze")
+		out     = flag.String("out", "", "trace file to write")
+		minutes = flag.Float64("minutes", 10, "workload time to cover")
+		diskMB  = flag.Int("disk-mb", 39070, "disk size the workload runs against (MB)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "record":
+		err = runRecord(*wl, *out, *minutes, *diskMB, *seed)
+	case "analyze":
+		err = runAnalyze(*wl, *in, *minutes, *diskMB, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bbtrace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func makeGenerator(wl string, diskMB int, seed int64) (workload.Generator, int, error) {
+	blocks := diskMB << 20 / blockdev.BlockSize
+	switch wl {
+	case "web":
+		return workload.NewWebServer(blocks, seed), blocks, nil
+	case "stream":
+		return workload.NewStreaming(blocks, seed), blocks, nil
+	case "diabolical":
+		return workload.NewDiabolical(blocks, seed), blocks, nil
+	case "kernel":
+		return workload.NewKernelBuild(blocks, seed), blocks, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown workload %q", wl)
+	}
+}
+
+func runRecord(wl, out string, minutes float64, diskMB int, seed int64) error {
+	if out == "" {
+		return fmt.Errorf("record mode needs -out")
+	}
+	gen, blocks, err := makeGenerator(wl, diskMB, seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := workload.NewTraceWriter(f, blocks)
+	if err != nil {
+		return err
+	}
+	horizon := time.Duration(minutes * float64(time.Minute))
+	for {
+		a := gen.Next()
+		if a.At >= horizon {
+			break
+		}
+		if err := tw.Append(a); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d accesses (%.1f min of %s) to %s\n", tw.Count(), minutes, gen.Name(), out)
+	return nil
+}
+
+func runAnalyze(wl, in string, minutes float64, diskMB int, seed int64) error {
+	var gen workload.Generator
+	var err error
+	switch {
+	case in != "":
+		gen, err = workload.LoadTrace(in)
+		if err != nil {
+			return err
+		}
+	case wl != "":
+		gen, _, err = makeGenerator(wl, diskMB, seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("analyze mode needs -in or -workload")
+	}
+	horizon := time.Duration(minutes * float64(time.Minute))
+	if d, ok := gen.(*workload.Diabolical); ok {
+		horizon = d.CycleDuration()
+	}
+	st := workload.Locality(gen, horizon)
+	fmt.Printf("%s over %v:\n  %s\n", gen.Name(), horizon.Round(time.Second), st)
+	fmt.Printf("  dirty footprint: %.1f MB; bitmap to cover it (dense): %.2f MiB\n",
+		float64(st.UniqueBlocks)*blockdev.BlockSize/1e6,
+		float64(diskMB<<20/blockdev.BlockSize/8)/(1<<20))
+	fmt.Println("paper §IV-A-2: kernel build ~11%, SPECweb banking 25.2%, Bonnie++ 35.6%")
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestMakeGenerator(t *testing.T) {
+	for _, wl := range []string{"web", "stream", "diabolical", "kernel"} {
+		g, blocks, err := makeGenerator(wl, 100, 1)
+		if err != nil || g == nil || blocks != 100<<20/4096 {
+			t.Fatalf("%s: %v %v %d", wl, g, err, blocks)
+		}
+	}
+	if _, _, err := makeGenerator("bogus", 100, 1); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestRecordThenAnalyze(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trace")
+	if err := runRecord("web", out, 0.2, 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAnalyze("", out, 0.2, 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	// live analysis without a file
+	if err := runAnalyze("kernel", "", 0.1, 64, 1); err != nil {
+		t.Fatal(err)
+	}
+	// argument validation
+	if err := runRecord("web", "", 1, 64, 1); err == nil {
+		t.Fatal("record without -out accepted")
+	}
+	if err := runAnalyze("", "", 1, 64, 1); err == nil {
+		t.Fatal("analyze without inputs accepted")
+	}
+	if err := runRecord("bogus", out, 1, 64, 1); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Multihost: the paper's §VII future-work scenario made concrete. Three
+// host daemons (the Domain0 toolstack role) pass a live web-serving VM
+// around office → lab → datacenter → office over real TCP. The per-domain
+// vault travels with the VM, so every hop to a host that already holds an
+// old copy of the disk is automatically incremental — not just the straight
+// A→B→A round trip the paper's IM implementation supported.
+//
+//	go run ./examples/multihost
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bbmig/internal/core"
+	"bbmig/internal/hostd"
+	"bbmig/internal/transport"
+	"bbmig/internal/workload"
+)
+
+const (
+	blocks = 8192 // 32 MiB disk
+	pages  = 256
+)
+
+// hop migrates the domain between two machines over loopback TCP.
+func hop(src, dst *hostd.Machine, domain string) {
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := dst.ServeOne(l, core.Config{})
+		errCh <- err
+	}()
+	rep, err := src.MigrateOut(domain, dst.Name, l.Addr().String(), core.Config{})
+	if err != nil {
+		log.Fatalf("%s → %s: %v", src.Name, dst.Name, err)
+	}
+	if err := <-errCh; err != nil {
+		log.Fatalf("%s → %s (dest): %v", src.Name, dst.Name, err)
+	}
+	kind := "full"
+	if rep.Scheme == "IM" && rep.DiskIterations[0].Units < blocks {
+		kind = "INCREMENTAL"
+	}
+	fmt.Printf("%-8s → %-10s %11s: sent %5d blocks in iteration 1, downtime %2d ms, %.1f MB total\n",
+		src.Name, dst.Name, kind, rep.DiskIterations[0].Units, rep.Downtime.Milliseconds(), rep.MigratedMB())
+}
+
+func main() {
+	office := hostd.NewMachine("office")
+	lab := hostd.NewMachine("lab")
+	dc := hostd.NewMachine("datacenter")
+
+	if _, err := office.CreateDomain("webvm", blocks, pages, workload.Web, 1, true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("webvm serving on office; migrating it around the fleet:")
+	work := func() { time.Sleep(60 * time.Millisecond) } // the guest keeps serving
+
+	work()
+	hop(office, lab, "webvm") // first visit: full disk
+	work()
+	hop(lab, dc, "webvm") // first visit: full disk
+	work()
+	hop(dc, office, "webvm") // office holds an old copy: incremental
+	work()
+	hop(office, lab, "webvm") // lab holds an old copy too: incremental
+	work()
+	hop(lab, office, "webvm") // straight back: incremental
+
+	d, ok := office.Domain("webvm")
+	if !ok {
+		log.Fatal("webvm lost")
+	}
+	d.StopWorkload()
+	fmt.Printf("\nwebvm finished its tour on %s, VM %v, disk footprint %d blocks\n",
+		office.Name, d.VM().State(), d.Disk().WrittenBlocks())
+	fmt.Println("every revisit transferred only the divergence — the paper's §VII goal")
+}

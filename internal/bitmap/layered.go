@@ -1,0 +1,233 @@
+package bitmap
+
+import "fmt"
+
+// DefaultChunkBits is the number of bits per leaf chunk of a Layered bitmap.
+// 32 Ki bits = 4 KiB of leaf memory, covering 128 MiB of disk at 4 KiB
+// blocks; the upper layer for a 1 TiB disk then has only 8192 entries.
+const DefaultChunkBits = 32 * 1024
+
+// Layered is the paper's two-layer bitmap (§IV-A-2): the bit space is divided
+// into fixed-size chunks; an upper-layer bitmap records which chunks contain
+// any dirty bit, and leaf chunks are allocated lazily on the first write to
+// their region. Scans consult the upper layer first and skip clean chunks,
+// which the paper introduces to keep per-iteration scan cost low on large,
+// sparse bitmaps. Layered is not safe for concurrent use.
+type Layered struct {
+	upper     *Bitmap   // one bit per chunk: "this chunk may contain dirty bits"
+	chunks    []*Bitmap // nil until first Set in the chunk's range
+	chunkBits int
+	n         int
+}
+
+// NewLayered returns a Layered bitmap of n bits with the default chunk size.
+func NewLayered(n int) *Layered { return NewLayeredChunk(n, DefaultChunkBits) }
+
+// NewLayeredChunk returns a Layered bitmap of n bits with chunkBits bits per
+// leaf chunk.
+func NewLayeredChunk(n, chunkBits int) *Layered {
+	if n < 0 || chunkBits <= 0 {
+		panic(fmt.Sprintf("bitmap: bad layered size n=%d chunkBits=%d", n, chunkBits))
+	}
+	nchunks := (n + chunkBits - 1) / chunkBits
+	return &Layered{
+		upper:     New(nchunks),
+		chunks:    make([]*Bitmap, nchunks),
+		chunkBits: chunkBits,
+		n:         n,
+	}
+}
+
+// Len returns the number of bits.
+func (l *Layered) Len() int { return l.n }
+
+func (l *Layered) check(i int) {
+	if i < 0 || i >= l.n {
+		panic(fmt.Sprintf("bitmap: index %d out of range [0,%d)", i, l.n))
+	}
+}
+
+// chunkLen returns the number of valid bits in chunk c (the final chunk may
+// be short).
+func (l *Layered) chunkLen(c int) int {
+	if rem := l.n - c*l.chunkBits; rem < l.chunkBits {
+		return rem
+	}
+	return l.chunkBits
+}
+
+// Set marks bit i dirty, allocating the leaf chunk if needed.
+func (l *Layered) Set(i int) {
+	l.check(i)
+	c := i / l.chunkBits
+	if l.chunks[c] == nil {
+		l.chunks[c] = New(l.chunkLen(c))
+	}
+	l.chunks[c].Set(i % l.chunkBits)
+	l.upper.Set(c)
+}
+
+// Clear marks bit i clean. The upper-layer bit is left set even if the chunk
+// becomes empty; it is a conservative "may contain dirty" hint, re-tightened
+// by Reset. This matches the cheap-write-path design: clearing must not scan.
+func (l *Layered) Clear(i int) {
+	l.check(i)
+	c := i / l.chunkBits
+	if l.chunks[c] != nil {
+		l.chunks[c].Clear(i % l.chunkBits)
+	}
+}
+
+// Test reports whether bit i is dirty.
+func (l *Layered) Test(i int) bool {
+	l.check(i)
+	c := i / l.chunkBits
+	return l.chunks[c] != nil && l.chunks[c].Test(i%l.chunkBits)
+}
+
+// SetRange marks bits [lo, hi) dirty.
+func (l *Layered) SetRange(lo, hi int) {
+	if lo < 0 || hi > l.n || lo > hi {
+		panic(fmt.Sprintf("bitmap: bad range [%d,%d) of %d", lo, hi, l.n))
+	}
+	for i := lo; i < hi; {
+		c := i / l.chunkBits
+		end := (c + 1) * l.chunkBits
+		if end > hi {
+			end = hi
+		}
+		if l.chunks[c] == nil {
+			l.chunks[c] = New(l.chunkLen(c))
+		}
+		l.chunks[c].SetRange(i%l.chunkBits, end-c*l.chunkBits)
+		l.upper.Set(c)
+		i = end
+	}
+}
+
+// Count returns the number of dirty bits, skipping unallocated chunks.
+func (l *Layered) Count() int {
+	total := 0
+	l.upper.ForEachSet(func(c int) bool {
+		if l.chunks[c] != nil {
+			total += l.chunks[c].Count()
+		}
+		return true
+	})
+	return total
+}
+
+// Any reports whether any bit is set.
+func (l *Layered) Any() bool {
+	any := false
+	l.upper.ForEachSet(func(c int) bool {
+		if l.chunks[c] != nil && l.chunks[c].Any() {
+			any = true
+			return false
+		}
+		return true
+	})
+	return any
+}
+
+// ForEachSet calls fn for every dirty bit in ascending order, consulting the
+// upper layer to skip clean chunks — the scan optimization the paper's
+// layered design exists for. fn returning false stops early.
+func (l *Layered) ForEachSet(fn func(i int) bool) {
+	stopped := false
+	l.upper.ForEachSet(func(c int) bool {
+		ch := l.chunks[c]
+		if ch == nil {
+			return true
+		}
+		base := c * l.chunkBits
+		ch.ForEachSet(func(j int) bool {
+			if !fn(base + j) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		return !stopped
+	})
+}
+
+// NextSet returns the first dirty bit at or after i, or -1.
+func (l *Layered) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for i < l.n {
+		c := i / l.chunkBits
+		uc := l.upper.NextSet(c)
+		if uc < 0 {
+			return -1
+		}
+		if uc != c {
+			i = uc * l.chunkBits
+			c = uc
+		}
+		ch := l.chunks[c]
+		if ch != nil {
+			if j := ch.NextSet(i % l.chunkBits); j >= 0 {
+				return c*l.chunkBits + j
+			}
+		}
+		i = (c + 1) * l.chunkBits
+	}
+	return -1
+}
+
+// Reset clears the bitmap and releases every leaf chunk back to the
+// allocator, restoring the minimal-memory state.
+func (l *Layered) Reset() {
+	l.upper.Reset()
+	for i := range l.chunks {
+		l.chunks[i] = nil
+	}
+}
+
+// Dense converts to a plain Bitmap of the same contents.
+func (l *Layered) Dense() *Bitmap {
+	b := New(l.n)
+	l.ForEachSet(func(i int) bool { b.Set(i); return true })
+	return b
+}
+
+// LoadFrom overwrites the contents from a dense bitmap of identical length.
+func (l *Layered) LoadFrom(b *Bitmap) {
+	if b.Len() != l.n {
+		panic(fmt.Sprintf("bitmap: load size mismatch %d != %d", b.Len(), l.n))
+	}
+	l.Reset()
+	b.ForEachSet(func(i int) bool { l.Set(i); return true })
+}
+
+// SizeBytes returns the memory consumed by allocated chunks plus the upper
+// layer, the quantity the paper's "reduce bitmap size and save memory space"
+// claim is about.
+func (l *Layered) SizeBytes() int {
+	total := l.upper.SizeBytes()
+	for _, ch := range l.chunks {
+		if ch != nil {
+			total += ch.SizeBytes()
+		}
+	}
+	return total
+}
+
+// AllocatedChunks returns how many leaf chunks have been materialized.
+func (l *Layered) AllocatedChunks() int {
+	n := 0
+	for _, ch := range l.chunks {
+		if ch != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders a short summary.
+func (l *Layered) String() string {
+	return fmt.Sprintf("layered{%d/%d set, %d/%d chunks}", l.Count(), l.n, l.AllocatedChunks(), len(l.chunks))
+}

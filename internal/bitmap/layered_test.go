@@ -1,0 +1,189 @@
+package bitmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLayeredBasics(t *testing.T) {
+	l := NewLayeredChunk(1000, 100)
+	if l.Len() != 1000 || l.Any() {
+		t.Fatal("new layered not empty")
+	}
+	l.Set(0)
+	l.Set(150)
+	l.Set(999)
+	if l.Count() != 3 || !l.Test(0) || !l.Test(150) || !l.Test(999) || l.Test(1) {
+		t.Fatal("Set/Test wrong")
+	}
+	if l.AllocatedChunks() != 3 {
+		t.Fatalf("AllocatedChunks = %d, want 3 (lazy allocation)", l.AllocatedChunks())
+	}
+	l.Clear(150)
+	if l.Test(150) || l.Count() != 2 {
+		t.Fatal("Clear wrong")
+	}
+	// Clearing a bit in a never-allocated chunk is a no-op, not a panic.
+	l.Clear(500)
+}
+
+func TestLayeredLazyAllocation(t *testing.T) {
+	// Paper: "the lower parts are allocated only when there is a write
+	// access to this part, which can reduce bitmap size and save memory".
+	l := NewLayeredChunk(1<<20, 1<<12)
+	if l.AllocatedChunks() != 0 {
+		t.Fatal("chunks allocated before any write")
+	}
+	dense := New(1 << 20)
+	if l.SizeBytes() >= dense.SizeBytes() {
+		t.Fatalf("empty layered (%dB) not smaller than dense (%dB)", l.SizeBytes(), dense.SizeBytes())
+	}
+	l.Set(12345)
+	if l.AllocatedChunks() != 1 {
+		t.Fatalf("AllocatedChunks = %d after one write", l.AllocatedChunks())
+	}
+}
+
+func TestLayeredSetRangeCrossesChunks(t *testing.T) {
+	l := NewLayeredChunk(1000, 128)
+	l.SetRange(100, 700)
+	if l.Count() != 600 {
+		t.Fatalf("Count = %d, want 600", l.Count())
+	}
+	for i := 0; i < 1000; i++ {
+		want := i >= 100 && i < 700
+		if l.Test(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, l.Test(i), want)
+		}
+	}
+}
+
+func TestLayeredNextSet(t *testing.T) {
+	l := NewLayeredChunk(1000, 64)
+	for _, i := range []int{5, 63, 64, 500, 999} {
+		l.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 5}, {6, 63}, {64, 64}, {65, 500}, {501, 999}, {1000, -1},
+	}
+	for _, c := range cases {
+		if got := l.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+}
+
+func TestLayeredResetReleasesMemory(t *testing.T) {
+	l := NewLayeredChunk(10000, 100)
+	l.SetRange(0, 10000)
+	if l.AllocatedChunks() != 100 {
+		t.Fatalf("AllocatedChunks = %d", l.AllocatedChunks())
+	}
+	l.Reset()
+	if l.Any() || l.AllocatedChunks() != 0 {
+		t.Fatal("Reset did not release chunks")
+	}
+}
+
+func TestLayeredDenseRoundTrip(t *testing.T) {
+	l := NewLayeredChunk(777, 50)
+	for _, i := range []int{0, 49, 50, 333, 776} {
+		l.Set(i)
+	}
+	d := l.Dense()
+	if d.Count() != 5 {
+		t.Fatalf("dense Count = %d", d.Count())
+	}
+	l2 := NewLayeredChunk(777, 64)
+	l2.LoadFrom(d)
+	if l2.Count() != 5 || !l2.Test(333) {
+		t.Fatal("LoadFrom mismatch")
+	}
+}
+
+func TestLayeredFinalShortChunk(t *testing.T) {
+	l := NewLayeredChunk(130, 64) // final chunk has 2 bits
+	l.Set(129)
+	if !l.Test(129) || l.Count() != 1 {
+		t.Fatal("short final chunk broken")
+	}
+	l.SetRange(120, 130)
+	if l.Count() != 10 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+}
+
+// TestQuickLayeredMatchesDense drives both implementations with the same
+// random ops and compares every observable.
+func TestQuickLayeredMatchesDense(t *testing.T) {
+	f := func(ops []uint32, chunkSel uint8) bool {
+		const n = 900
+		chunk := []int{32, 64, 100, 128, 900, 1024}[int(chunkSel)%6]
+		lay := NewLayeredChunk(n, chunk)
+		dense := New(n)
+		ref := make(reference)
+		applyOps(n, ops, dense, lay, ref)
+		if lay.Count() != dense.Count() || lay.Any() != dense.Any() {
+			return false
+		}
+		ok := true
+		dense.ForEachSet(func(i int) bool {
+			if !lay.Test(i) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		// enumeration order must be identical
+		var a, b []int
+		dense.ForEachSet(func(i int) bool { a = append(a, i); return true })
+		lay.ForEachSet(func(i int) bool { b = append(b, i); return true })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayeredDefaultChunkAndString(t *testing.T) {
+	l := NewLayered(DefaultChunkBits * 3)
+	l.Set(1)
+	l.Set(DefaultChunkBits + 5)
+	if l.Count() != 2 || l.AllocatedChunks() != 2 {
+		t.Fatalf("default-chunk layered wrong: %v", l)
+	}
+	if s := l.String(); s == "" {
+		t.Fatal("empty String")
+	}
+	if s := New(10).String(); s == "" {
+		t.Fatal("dense String empty")
+	}
+}
+
+func TestLayeredPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad-new":      func() { NewLayeredChunk(-1, 10) },
+		"bad-chunk":    func() { NewLayeredChunk(10, 0) },
+		"oob-set":      func() { NewLayered(10).Set(10) },
+		"oob-test":     func() { NewLayered(10).Test(-1) },
+		"bad-range":    func() { NewLayered(10).SetRange(5, 3) },
+		"bad-loadfrom": func() { NewLayered(10).LoadFrom(New(11)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,40 @@
+package bitmap
+
+import (
+	"fmt"
+	"os"
+)
+
+// SaveFile writes the bitmap to path atomically (write-to-temp + rename), so
+// a crash mid-save leaves either the old bitmap or the new one, never a
+// torn file. The migration daemon persists the destination's fresh-write
+// bitmap this way so an incremental migration back works across daemon
+// restarts.
+func (b *Bitmap) SaveFile(path string) error {
+	data, err := b.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("bitmap: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("bitmap: save rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a bitmap previously written by SaveFile.
+func LoadFile(path string) (*Bitmap, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bitmap: load: %w", err)
+	}
+	b := &Bitmap{}
+	if err := b.UnmarshalBinary(data); err != nil {
+		return nil, fmt.Errorf("bitmap: load %s: %w", path, err)
+	}
+	return b, nil
+}

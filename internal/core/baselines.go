@@ -1,0 +1,610 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"bbmig/internal/bitmap"
+	"bbmig/internal/blkback"
+	"bbmig/internal/blockdev"
+	"bbmig/internal/clock"
+	"bbmig/internal/metrics"
+	"bbmig/internal/transport"
+	"bbmig/internal/vm"
+)
+
+// This file implements the three comparison schemes the paper's related-work
+// section argues against (§II-B). They share TPM's wire protocol and
+// substrate so benchmarks compare algorithms, not implementations:
+//
+//   - Freeze-and-copy (Internet Suspend/Resume, the Collective): suspend,
+//     copy everything, resume. Downtime ≈ total migration time.
+//   - On-demand fetching: migrate memory+CPU only, fetch storage blocks
+//     lazily forever. Shared-storage-like downtime but an unbounded
+//     residual dependency on the source (availability drops to p²).
+//   - Delta forward-and-replay (Bradford et al., VEE'07): forward every
+//     write during a single full-disk pass, queue the deltas on the
+//     destination, and block I/O after resume until the queue replays.
+//     Write locality makes a fraction of the deltas redundant — the
+//     redundancy the block-bitmap eliminates by construction.
+
+// handshake runs the HELLO/HELLO_ACK exchange from the source side.
+func handshake(conn transport.Conn, dev blockdev.Device, mem *vm.Memory) error {
+	geom := transport.Geometry{
+		BlockSize: dev.BlockSize(), NumBlocks: dev.NumBlocks(),
+		PageSize: mem.PageSize(), NumPages: mem.NumPages(),
+	}
+	gb, err := geom.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(transport.Message{Type: transport.MsgHello, Arg: transport.ProtocolVersion, Payload: gb}); err != nil {
+		return err
+	}
+	ack, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core: waiting for hello ack: %w", err)
+	}
+	if ack.Type != transport.MsgHelloAck {
+		return fmt.Errorf("core: unexpected handshake reply %v", ack.Type)
+	}
+	return nil
+}
+
+// acceptHandshake runs the destination side of the handshake, validating
+// geometry against the prepared resources.
+func acceptHandshake(conn transport.Conn, dev blockdev.Device, mem *vm.Memory) error {
+	hello, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core: waiting for hello: %w", err)
+	}
+	if hello.Type != transport.MsgHello {
+		return fmt.Errorf("core: expected HELLO, got %v", hello.Type)
+	}
+	var geom transport.Geometry
+	if err := geom.UnmarshalBinary(hello.Payload); err != nil {
+		return err
+	}
+	if geom.BlockSize != dev.BlockSize() || geom.NumBlocks != dev.NumBlocks() ||
+		geom.PageSize != mem.PageSize() || geom.NumPages != mem.NumPages() {
+		return fmt.Errorf("core: geometry mismatch: %+v", geom)
+	}
+	return conn.Send(transport.Message{Type: transport.MsgHelloAck})
+}
+
+// --- Freeze-and-copy ---
+
+// MigrateFreezeAndCopySource migrates by suspending the VM for the entire
+// transfer. The report's Downtime ≈ TotalTime, the defect that motivates
+// live migration.
+func MigrateFreezeAndCopySource(cfg Config, host Host, conn transport.Conn) (*metrics.Report, error) {
+	cfg = cfg.withDefaults()
+	clk := cfg.Clock
+	meter := transport.NewMeter(conn)
+	dev := host.Backend.Device()
+	mem := host.VM.Memory()
+	rep := &metrics.Report{
+		Scheme:      "freeze-and-copy",
+		DiskBytes:   blockdev.Capacity(dev),
+		MemoryBytes: int64(mem.NumPages()) * int64(mem.PageSize()),
+	}
+	start := clk.Now()
+	if err := handshake(meter, dev, mem); err != nil {
+		return rep, err
+	}
+	if cfg.OnFreeze != nil {
+		cfg.OnFreeze()
+	}
+	if err := host.VM.Suspend(); err != nil {
+		return rep, err
+	}
+	freezeStart := clk.Now()
+	if err := meter.Send(transport.Message{Type: transport.MsgSuspend}); err != nil {
+		return rep, err
+	}
+	// Whole disk, whole memory, CPU — one copy and only one copy.
+	s := &sourceRun{cfg: cfg, host: host, clk: clk, conn: meter, meter: meter}
+	sent, bytes, err := s.sendBlocks(bitmap.NewAllSet(dev.NumBlocks()))
+	if err != nil {
+		return rep, err
+	}
+	rep.DiskIterations = []metrics.Iteration{{Index: 1, Units: sent, Bytes: bytes, Duration: clk.Now() - freezeStart}}
+	nPages, pBytes, err := s.sendPages(bitmap.NewAllSet(mem.NumPages()), false)
+	if err != nil {
+		return rep, err
+	}
+	rep.MemIterations = []metrics.Iteration{{Index: 1, Units: nPages, Bytes: pBytes}}
+	cpu := host.VM.CPU()
+	if err := meter.Send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}); err != nil {
+		return rep, err
+	}
+	if err := meter.Send(transport.Message{Type: transport.MsgResume}); err != nil {
+		return rep, err
+	}
+	for {
+		m, err := meter.Recv()
+		if err != nil {
+			return rep, err
+		}
+		switch m.Type {
+		case transport.MsgResumed:
+			rep.Downtime = clk.Now() - freezeStart
+		case transport.MsgDone:
+			rep.TotalTime = clk.Now() - start
+			rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
+			host.VM.Stop()
+			return rep, nil
+		case transport.MsgError:
+			return rep, fmt.Errorf("core: destination error: %s", m.Payload)
+		default:
+			return rep, fmt.Errorf("core: unexpected %v", m.Type)
+		}
+	}
+}
+
+// MigrateFreezeAndCopyDest receives a freeze-and-copy migration.
+func MigrateFreezeAndCopyDest(cfg Config, host Host, conn transport.Conn) (*DestResult, error) {
+	cfg = cfg.withDefaults()
+	meter := transport.NewMeter(conn)
+	dev := host.Backend.Device()
+	mem := host.VM.Memory()
+	rep := &metrics.Report{Scheme: "freeze-and-copy-dest"}
+	res := &DestResult{Report: rep}
+	if err := acceptHandshake(meter, dev, mem); err != nil {
+		return res, err
+	}
+	for {
+		m, err := meter.Recv()
+		if err != nil {
+			return res, err
+		}
+		switch m.Type {
+		case transport.MsgSuspend:
+		case transport.MsgBlockData:
+			if err := dev.WriteBlock(int(m.Arg), m.Payload); err != nil {
+				return res, err
+			}
+		case transport.MsgMemPage:
+			if err := mem.WritePage(int(m.Arg), m.Payload); err != nil {
+				return res, err
+			}
+		case transport.MsgCPUState:
+			res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
+			host.VM.SetCPU(res.CPU)
+		case transport.MsgResume:
+			if err := host.VM.Resume(); err != nil {
+				return res, err
+			}
+			if err := meter.Send(transport.Message{Type: transport.MsgResumed}); err != nil {
+				return res, err
+			}
+			if err := meter.Send(transport.Message{Type: transport.MsgDone}); err != nil {
+				return res, err
+			}
+			rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
+			return res, nil
+		case transport.MsgError:
+			return res, fmt.Errorf("core: source error: %s", m.Payload)
+		default:
+			return res, fmt.Errorf("core: unexpected %v", m.Type)
+		}
+	}
+}
+
+// --- On-demand fetching ---
+
+// MigrateOnDemandSource migrates memory and CPU with pre-copy, then serves
+// block pulls until the destination releases it — which may be never, the
+// residual-dependency defect the paper's push-and-pull avoids. The returned
+// report's ResidualDirty is filled by the destination side.
+func MigrateOnDemandSource(cfg Config, host Host, conn transport.Conn) (*metrics.Report, error) {
+	cfg = cfg.withDefaults()
+	clk := cfg.Clock
+	meter := transport.NewMeter(conn)
+	dev := host.Backend.Device()
+	mem := host.VM.Memory()
+	rep := &metrics.Report{
+		Scheme:      "on-demand",
+		DiskBytes:   blockdev.Capacity(dev),
+		MemoryBytes: int64(mem.NumPages()) * int64(mem.PageSize()),
+	}
+	start := clk.Now()
+	if err := handshake(meter, dev, mem); err != nil {
+		return rep, err
+	}
+	s := &sourceRun{cfg: cfg, host: host, clk: clk, conn: meter, meter: meter}
+	if err := s.memPreCopy(rep); err != nil {
+		return rep, err
+	}
+	rep.PreCopyTime = clk.Now() - start
+	if cfg.OnFreeze != nil {
+		cfg.OnFreeze()
+	}
+	freezeStart := clk.Now()
+	if err := host.VM.Suspend(); err != nil {
+		return rep, err
+	}
+	if err := meter.Send(transport.Message{Type: transport.MsgSuspend}); err != nil {
+		return rep, err
+	}
+	if _, _, err := s.sendPages(mem.SwapDirty(), false); err != nil {
+		return rep, err
+	}
+	cpu := host.VM.CPU()
+	if err := meter.Send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}); err != nil {
+		return rep, err
+	}
+	// Disk state: nothing but an all-dirty bitmap; every block is fetched
+	// on demand.
+	bm, err := bitmap.NewAllSet(dev.NumBlocks()).MarshalBinary()
+	if err != nil {
+		return rep, err
+	}
+	if err := meter.Send(transport.Message{Type: transport.MsgBitmap, Payload: bm}); err != nil {
+		return rep, err
+	}
+	if err := meter.Send(transport.Message{Type: transport.MsgResume}); err != nil {
+		return rep, err
+	}
+	// Serve pulls until released. No push: the dependency persists for as
+	// long as the destination keeps faulting.
+	buf := make([]byte, dev.BlockSize())
+	for {
+		m, err := meter.Recv()
+		if err != nil {
+			return rep, err
+		}
+		switch m.Type {
+		case transport.MsgResumed:
+			rep.Downtime = clk.Now() - freezeStart
+		case transport.MsgPullRequest:
+			n := int(m.Arg)
+			if err := dev.ReadBlock(n, buf); err != nil {
+				return rep, err
+			}
+			if err := meter.Send(transport.Message{Type: transport.MsgBlockData, Arg: m.Arg, Payload: buf}); err != nil {
+				return rep, err
+			}
+			rep.BlocksPulled++
+		case transport.MsgDone:
+			rep.TotalTime = clk.Now() - start
+			rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
+			return rep, nil
+		case transport.MsgError:
+			return rep, fmt.Errorf("core: destination error: %s", m.Payload)
+		default:
+			return rep, fmt.Errorf("core: unexpected %v", m.Type)
+		}
+	}
+}
+
+// MigrateOnDemandDest receives an on-demand migration. After resume it keeps
+// the gate faulting blocks from the source until release is closed, then
+// reports how many blocks were never localized (ResidualDirty — the blocks
+// whose loss would take the VM down with the source).
+func MigrateOnDemandDest(cfg Config, host Host, conn transport.Conn, release <-chan struct{}) (*DestResult, error) {
+	cfg = cfg.withDefaults()
+	clk := cfg.Clock
+	meter := transport.NewMeter(conn)
+	dev := host.Backend.Device()
+	mem := host.VM.Memory()
+	rep := &metrics.Report{Scheme: "on-demand-dest"}
+	res := &DestResult{Report: rep}
+	if err := acceptHandshake(meter, dev, mem); err != nil {
+		return res, err
+	}
+	var transferred *bitmap.Bitmap
+receive:
+	for {
+		m, err := meter.Recv()
+		if err != nil {
+			return res, err
+		}
+		switch m.Type {
+		case transport.MsgSuspend, transport.MsgMemIterStart, transport.MsgMemIterEnd:
+		case transport.MsgMemPage:
+			if err := mem.WritePage(int(m.Arg), m.Payload); err != nil {
+				return res, err
+			}
+		case transport.MsgCPUState:
+			res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
+			host.VM.SetCPU(res.CPU)
+		case transport.MsgBitmap:
+			transferred = &bitmap.Bitmap{}
+			if err := transferred.UnmarshalBinary(m.Payload); err != nil {
+				return res, err
+			}
+		case transport.MsgResume:
+			break receive
+		case transport.MsgError:
+			return res, fmt.Errorf("core: source error: %s", m.Payload)
+		default:
+			return res, fmt.Errorf("core: unexpected %v", m.Type)
+		}
+	}
+	if transferred == nil {
+		return res, fmt.Errorf("core: source resumed without a bitmap")
+	}
+	gate := blkback.NewPostCopyGate(dev, host.VM.DomainID, transferred, func(n int) error {
+		return meter.Send(transport.Message{Type: transport.MsgPullRequest, Arg: uint64(n)})
+	}, clk)
+	res.Gate = gate
+	if err := host.VM.Resume(); err != nil {
+		return res, err
+	}
+	if cfg.OnResume != nil {
+		cfg.OnResume(gate)
+	}
+	if err := meter.Send(transport.Message{Type: transport.MsgResumed}); err != nil {
+		return res, err
+	}
+	postStart := clk.Now()
+
+	// Apply pulled blocks until released. Recv runs in its own goroutine so
+	// the release signal is honoured even while no traffic flows.
+	type inbound struct {
+		m   transport.Message
+		err error
+	}
+	msgCh := make(chan inbound)
+	go func() {
+		for {
+			m, err := meter.Recv()
+			select {
+			case msgCh <- inbound{m, err}:
+				if err != nil {
+					return
+				}
+			case <-release:
+				return
+			}
+		}
+	}()
+serve:
+	for {
+		select {
+		case in := <-msgCh:
+			if in.err != nil {
+				return res, in.err
+			}
+			switch in.m.Type {
+			case transport.MsgBlockData:
+				if err := gate.ReceiveBlock(int(in.m.Arg), in.m.Payload); err != nil {
+					return res, err
+				}
+			case transport.MsgError:
+				return res, fmt.Errorf("core: source error: %s", in.m.Payload)
+			default:
+				return res, fmt.Errorf("core: unexpected %v", in.m.Type)
+			}
+		case <-release:
+			break serve
+		}
+	}
+	// Fail any read still waiting on a pull: the dependency is being cut.
+	gate.Close()
+	if err := meter.Send(transport.Message{Type: transport.MsgDone}); err != nil {
+		return res, err
+	}
+	rep.PostCopyTime = clk.Now() - postStart
+	rep.ResidualDirty = gate.RemainingDirty()
+	rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
+	gs := gate.Stats()
+	rep.BlocksPulled = int(gs.Pulls)
+	rep.ReadStallTime = gs.ReadStallTime
+	return res, nil
+}
+
+// Availability returns the availability of an on-demand-migrated VM that
+// depends on two machines of individual availability p: p² (§II-B). With
+// TPM's finite dependency the VM returns to availability p once post-copy
+// completes.
+func Availability(p float64) float64 { return p * p }
+
+// --- Bradford-style delta forward-and-replay ---
+
+// DeltaForwarder intercepts the guest's writes during a delta migration and
+// forwards each one to the destination as a delta record, the §IV-A-2
+// comparison mechanism. Route the workload through Submit.
+type DeltaForwarder struct {
+	backend *blkback.Backend
+	conn    transport.Conn
+	active  atomic.Bool
+
+	deltas     atomic.Int64
+	deltaBytes atomic.Int64
+}
+
+// NewDeltaForwarder wraps backend, forwarding writes over conn while active.
+func NewDeltaForwarder(backend *blkback.Backend, conn transport.Conn) *DeltaForwarder {
+	return &DeltaForwarder{backend: backend, conn: conn}
+}
+
+// Submit applies the request locally and forwards writes from the tracked
+// domain while forwarding is active.
+func (f *DeltaForwarder) Submit(req blockdev.Request) error {
+	if err := f.backend.Submit(req); err != nil {
+		return err
+	}
+	if req.Op == blockdev.Write && req.Domain == f.backend.Domain() && f.active.Load() {
+		m := transport.Message{Type: transport.MsgDelta, Arg: uint64(req.Block), Payload: req.Data}
+		if err := f.conn.Send(m); err != nil {
+			return fmt.Errorf("core: forward delta: %w", err)
+		}
+		f.deltas.Add(1)
+		f.deltaBytes.Add(int64(m.FrameSize()))
+	}
+	return nil
+}
+
+// Deltas returns how many write deltas were forwarded.
+func (f *DeltaForwarder) Deltas() int64 { return f.deltas.Load() }
+
+// MigrateDeltaSource migrates with Bradford-style forwarding: one full-disk
+// pass while fwd forwards every write, then memory pre-copy, freeze, resume.
+// The destination replays the queued deltas with guest I/O blocked.
+func MigrateDeltaSource(cfg Config, host Host, conn transport.Conn, fwd *DeltaForwarder) (*metrics.Report, error) {
+	cfg = cfg.withDefaults()
+	clk := cfg.Clock
+	meter := transport.NewMeter(conn)
+	dev := host.Backend.Device()
+	mem := host.VM.Memory()
+	rep := &metrics.Report{
+		Scheme:      "delta-forward",
+		DiskBytes:   blockdev.Capacity(dev),
+		MemoryBytes: int64(mem.NumPages()) * int64(mem.PageSize()),
+	}
+	start := clk.Now()
+	if err := handshake(meter, dev, mem); err != nil {
+		return rep, err
+	}
+	// Forward every write from now on; the full-disk pass races them, and
+	// the destination's replay-after-copy resolves the races.
+	fwd.conn = meter
+	fwd.active.Store(true)
+	s := &sourceRun{cfg: cfg, host: host, clk: clk, conn: meter, meter: meter}
+	if cfg.BandwidthLimit != clock.Unlimited {
+		s.limiter = clock.NewRateLimiter(clk, cfg.BandwidthLimit, cfg.BandwidthLimit/10)
+	}
+	iterStart := clk.Now()
+	if err := meter.Send(transport.Message{Type: transport.MsgIterStart, Arg: 1}); err != nil {
+		return rep, err
+	}
+	sent, bytes, err := s.sendBlocks(bitmap.NewAllSet(dev.NumBlocks()))
+	if err != nil {
+		return rep, err
+	}
+	if err := meter.Send(transport.Message{Type: transport.MsgIterEnd, Arg: uint64(sent)}); err != nil {
+		return rep, err
+	}
+	rep.DiskIterations = []metrics.Iteration{{Index: 1, Units: sent, Bytes: bytes, Duration: clk.Now() - iterStart}}
+	if err := s.memPreCopy(rep); err != nil {
+		return rep, err
+	}
+	rep.PreCopyTime = clk.Now() - start
+	if cfg.OnFreeze != nil {
+		cfg.OnFreeze()
+	}
+	freezeStart := clk.Now()
+	if err := host.VM.Suspend(); err != nil {
+		return rep, err
+	}
+	fwd.active.Store(false)
+	if err := meter.Send(transport.Message{Type: transport.MsgSuspend}); err != nil {
+		return rep, err
+	}
+	if _, _, err := s.sendPages(mem.SwapDirty(), false); err != nil {
+		return rep, err
+	}
+	cpu := host.VM.CPU()
+	if err := meter.Send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}); err != nil {
+		return rep, err
+	}
+	if err := meter.Send(transport.Message{Type: transport.MsgResume}); err != nil {
+		return rep, err
+	}
+	for {
+		m, err := meter.Recv()
+		if err != nil {
+			return rep, err
+		}
+		switch m.Type {
+		case transport.MsgResumed:
+			rep.Downtime = clk.Now() - freezeStart
+		case transport.MsgDone:
+			rep.TotalTime = clk.Now() - start
+			rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
+			host.VM.Stop()
+			return rep, nil
+		case transport.MsgError:
+			return rep, fmt.Errorf("core: destination error: %s", m.Payload)
+		default:
+			return rep, fmt.Errorf("core: unexpected %v", m.Type)
+		}
+	}
+}
+
+// MigrateDeltaDest receives a delta migration: it queues forwarded writes,
+// applies the queue after the full copy, and reports how long guest I/O
+// stayed blocked after resume (IOBlockedTime) plus how many deltas were
+// redundant rewrites of the same block — the cost the paper's block-bitmap
+// eliminates.
+func MigrateDeltaDest(cfg Config, host Host, conn transport.Conn) (*DestResult, error) {
+	cfg = cfg.withDefaults()
+	clk := cfg.Clock
+	meter := transport.NewMeter(conn)
+	dev := host.Backend.Device()
+	mem := host.VM.Memory()
+	rep := &metrics.Report{Scheme: "delta-forward-dest"}
+	res := &DestResult{Report: rep}
+	if err := acceptHandshake(meter, dev, mem); err != nil {
+		return res, err
+	}
+	type delta struct {
+		block int
+		data  []byte
+	}
+	var queue []delta
+	seen := make(map[int]int)
+receive:
+	for {
+		m, err := meter.Recv()
+		if err != nil {
+			return res, err
+		}
+		switch m.Type {
+		case transport.MsgIterStart, transport.MsgIterEnd,
+			transport.MsgMemIterStart, transport.MsgMemIterEnd, transport.MsgSuspend:
+		case transport.MsgBlockData:
+			if err := dev.WriteBlock(int(m.Arg), m.Payload); err != nil {
+				return res, err
+			}
+		case transport.MsgDelta:
+			queue = append(queue, delta{block: int(m.Arg), data: m.Payload})
+			seen[int(m.Arg)]++
+		case transport.MsgMemPage:
+			if err := mem.WritePage(int(m.Arg), m.Payload); err != nil {
+				return res, err
+			}
+		case transport.MsgCPUState:
+			res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
+			host.VM.SetCPU(res.CPU)
+		case transport.MsgResume:
+			break receive
+		case transport.MsgError:
+			return res, fmt.Errorf("core: source error: %s", m.Payload)
+		default:
+			return res, fmt.Errorf("core: unexpected %v", m.Type)
+		}
+	}
+	// Resume, then replay with I/O blocked (Bradford: "all the write
+	// accesses must be blocked before all forwarded deltas are applied").
+	if err := host.VM.Resume(); err != nil {
+		return res, err
+	}
+	if err := meter.Send(transport.Message{Type: transport.MsgResumed}); err != nil {
+		return res, err
+	}
+	replayStart := clk.Now()
+	for _, d := range queue {
+		if err := dev.WriteBlock(d.block, d.data); err != nil {
+			return res, err
+		}
+	}
+	rep.IOBlockedTime = clk.Now() - replayStart
+	redundant := 0
+	for _, c := range seen {
+		if c > 1 {
+			redundant += c - 1
+		}
+	}
+	rep.StalePushes = redundant // redundant deltas play the same role
+	if cfg.OnResume != nil {
+		cfg.OnResume(nil) // I/O may flow again; no gate needed
+	}
+	if err := meter.Send(transport.Message{Type: transport.MsgDone}); err != nil {
+		return res, err
+	}
+	rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
+	return res, nil
+}

@@ -1,0 +1,99 @@
+// Package core implements the paper's contribution: Three-Phase Migration
+// (TPM) and Incremental Migration (IM) of a whole VM — local disk storage,
+// memory, and CPU state — plus the three comparison baselines the paper
+// argues against (freeze-and-copy, pure on-demand fetching, and Bradford-
+// style delta forward-and-replay).
+//
+// The engine is transport- and clock-agnostic: the same code migrates a VM
+// over an in-process pipe in tests, over TCP via cmd/bbmig, and at paper
+// scale on a virtual clock in internal/sim.
+package core
+
+import (
+	"bbmig/internal/blkback"
+	"bbmig/internal/clock"
+	"bbmig/internal/vm"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultMaxDiskIters bounds disk pre-copy iterations ("we limit the
+	// maximum number of iterations to avoid endless migration", §IV-A-1).
+	DefaultMaxDiskIters = 4
+	// DefaultDiskDirtyThreshold stops disk pre-copy once the per-iteration
+	// dirty set is this small (blocks); the remainder rides in the bitmap.
+	DefaultDiskDirtyThreshold = 128
+	// DefaultMaxMemIters bounds memory pre-copy iterations (Xen default
+	// behaviour: ~30 rounds max, convergence usually much earlier).
+	DefaultMaxMemIters = 30
+	// DefaultMemDirtyThreshold suspends the VM once the dirty page set is
+	// this small (pages).
+	DefaultMemDirtyThreshold = 64
+)
+
+// Config parameterizes a migration.
+type Config struct {
+	// Clock paces and measures the run. Nil defaults to a wall clock.
+	Clock clock.Clock
+
+	// MaxDiskIters, DiskDirtyThreshold, MaxMemIters, MemDirtyThreshold
+	// control the pre-copy stop conditions; zero selects the defaults.
+	MaxDiskIters       int
+	DiskDirtyThreshold int
+	MaxMemIters        int
+	MemDirtyThreshold  int
+
+	// BandwidthLimit caps the pre-copy transfer rate in bytes/second
+	// (§VI-C-3). Zero or clock.Unlimited disables the cap. The cap is not
+	// applied to the freeze-and-copy phase: throttling the downtime-
+	// critical transfer would be self-defeating, and the paper limits only
+	// the pre-copy bandwidth.
+	BandwidthLimit int64
+
+	// SkipUnused elides never-written blocks from the first pre-copy
+	// iteration when the source device reports its allocation map
+	// (blockdev.Allocator) — the paper's §VII guest-cooperation future-work
+	// item. The destination VBD must be freshly zeroed, which MigrateDest
+	// cannot verify; enabling this on a dirty destination corrupts it.
+	SkipUnused bool
+
+	// OnFreeze, when non-nil, is invoked on the source right before the VM
+	// is suspended; the caller must quiesce guest I/O before returning
+	// (the Router helper does this).
+	OnFreeze func()
+
+	// OnResume, when non-nil, is invoked on the destination right after
+	// the VM resumes, handing over the post-copy gate the guest's I/O must
+	// now flow through.
+	OnResume func(*blkback.PostCopyGate)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.MaxDiskIters <= 0 {
+		c.MaxDiskIters = DefaultMaxDiskIters
+	}
+	if c.DiskDirtyThreshold <= 0 {
+		c.DiskDirtyThreshold = DefaultDiskDirtyThreshold
+	}
+	if c.MaxMemIters <= 0 {
+		c.MaxMemIters = DefaultMaxMemIters
+	}
+	if c.MemDirtyThreshold <= 0 {
+		c.MemDirtyThreshold = DefaultMemDirtyThreshold
+	}
+	if c.BandwidthLimit <= 0 {
+		c.BandwidthLimit = clock.Unlimited
+	}
+	return c
+}
+
+// Host bundles the pieces of one physical machine participating in a
+// migration: the VM (source: the running guest; destination: the shell that
+// will receive it) and the block backend over the local disk.
+type Host struct {
+	VM      *vm.VM
+	Backend *blkback.Backend
+}

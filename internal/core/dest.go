@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"bbmig/internal/bitmap"
+	"bbmig/internal/blkback"
+	"bbmig/internal/metrics"
+	"bbmig/internal/transport"
+	"bbmig/internal/vm"
+)
+
+// DestResult is what a completed destination-side migration hands back.
+type DestResult struct {
+	// Report carries the destination's view of the run.
+	Report *metrics.Report
+	// Gate is the post-copy gate, fully synchronized. Its FreshBitmap is
+	// the input to an incremental migration back (§V).
+	Gate *blkback.PostCopyGate
+	// CPU is the received CPU state (also installed into the VM).
+	CPU vm.CPUState
+}
+
+// MigrateDest runs the destination side of a TPM migration over conn. host
+// provides the prepared VBD (via its Backend) and the VM shell that will
+// receive memory, CPU state, and eventually run. The function returns once
+// the local disk is fully synchronized with the (now stopped) source.
+func MigrateDest(cfg Config, host Host, conn transport.Conn) (*DestResult, error) {
+	cfg = cfg.withDefaults()
+	d := &destRun{cfg: cfg, host: host}
+	d.meter = transport.NewMeter(conn)
+	d.conn = d.meter
+	res, err := d.run()
+	if err != nil {
+		_ = d.conn.Send(transport.Message{Type: transport.MsgError, Payload: []byte(err.Error())})
+		return res, err
+	}
+	return res, nil
+}
+
+type destRun struct {
+	cfg   Config
+	host  Host
+	conn  transport.Conn
+	meter *transport.Meter
+}
+
+func (d *destRun) run() (*DestResult, error) {
+	dev := d.host.Backend.Device()
+	mem := d.host.VM.Memory()
+	rep := &metrics.Report{Scheme: "TPM-dest"}
+	res := &DestResult{Report: rep}
+	clk := d.cfg.Clock
+	start := clk.Now()
+
+	// Handshake: verify geometry against the prepared VBD and VM shell.
+	hello, err := d.conn.Recv()
+	if err != nil {
+		return res, fmt.Errorf("core: waiting for hello: %w", err)
+	}
+	if hello.Type != transport.MsgHello {
+		return res, fmt.Errorf("core: expected HELLO, got %v", hello.Type)
+	}
+	if hello.Arg != transport.ProtocolVersion {
+		return res, fmt.Errorf("core: protocol version %d, want %d", hello.Arg, transport.ProtocolVersion)
+	}
+	var geom transport.Geometry
+	if err := geom.UnmarshalBinary(hello.Payload); err != nil {
+		return res, err
+	}
+	if geom.BlockSize != dev.BlockSize() || geom.NumBlocks != dev.NumBlocks() {
+		return res, fmt.Errorf("core: source disk %dx%d, prepared VBD %dx%d",
+			geom.NumBlocks, geom.BlockSize, dev.NumBlocks(), dev.BlockSize())
+	}
+	if geom.PageSize != mem.PageSize() || geom.NumPages != mem.NumPages() {
+		return res, fmt.Errorf("core: source memory %dx%d, shell %dx%d",
+			geom.NumPages, geom.PageSize, mem.NumPages(), mem.PageSize())
+	}
+	if err := d.conn.Send(transport.Message{Type: transport.MsgHelloAck}); err != nil {
+		return res, err
+	}
+
+	// --- Pre-copy and freeze-and-copy receive loop. ---
+	var transferred *bitmap.Bitmap
+receive:
+	for {
+		m, err := d.conn.Recv()
+		if err != nil {
+			return res, fmt.Errorf("core: pre-copy receive: %w", err)
+		}
+		switch m.Type {
+		case transport.MsgIterStart, transport.MsgIterEnd,
+			transport.MsgMemIterStart, transport.MsgMemIterEnd, transport.MsgSuspend:
+			// phase markers; nothing to apply
+		case transport.MsgBlockData:
+			if err := dev.WriteBlock(int(m.Arg), m.Payload); err != nil {
+				return res, fmt.Errorf("core: apply block %d: %w", m.Arg, err)
+			}
+		case transport.MsgMemPage:
+			if err := mem.WritePage(int(m.Arg), m.Payload); err != nil {
+				return res, fmt.Errorf("core: apply page %d: %w", m.Arg, err)
+			}
+		case transport.MsgCPUState:
+			res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
+			d.host.VM.SetCPU(res.CPU)
+		case transport.MsgBitmap:
+			transferred = &bitmap.Bitmap{}
+			if err := transferred.UnmarshalBinary(m.Payload); err != nil {
+				return res, fmt.Errorf("core: bitmap: %w", err)
+			}
+		case transport.MsgResume:
+			break receive
+		case transport.MsgError:
+			return res, fmt.Errorf("core: source error: %s", m.Payload)
+		default:
+			return res, fmt.Errorf("core: unexpected message %v in pre-copy", m.Type)
+		}
+	}
+	if transferred == nil {
+		return res, fmt.Errorf("core: source resumed without sending a bitmap")
+	}
+
+	// --- Post-copy phase: resume the VM behind the gate. ---
+	gate := blkback.NewPostCopyGate(dev, d.host.VM.DomainID, transferred, func(n int) error {
+		return d.conn.Send(transport.Message{Type: transport.MsgPullRequest, Arg: uint64(n)})
+	}, clk)
+	res.Gate = gate
+	if err := d.host.VM.Resume(); err != nil {
+		return res, fmt.Errorf("core: resume: %w", err)
+	}
+	if d.cfg.OnResume != nil {
+		d.cfg.OnResume(gate)
+	}
+	if err := d.conn.Send(transport.Message{Type: transport.MsgResumed}); err != nil {
+		return res, err
+	}
+	postStart := clk.Now()
+
+	// Apply pushed/pulled blocks until the source reports push completion.
+	pushDone := false
+	for !(pushDone && gate.Synchronized()) {
+		m, err := d.conn.Recv()
+		if err != nil {
+			return res, fmt.Errorf("core: post-copy receive: %w", err)
+		}
+		switch m.Type {
+		case transport.MsgBlockData:
+			if err := gate.ReceiveBlock(int(m.Arg), m.Payload); err != nil {
+				return res, err
+			}
+		case transport.MsgPushDone:
+			pushDone = true
+		case transport.MsgError:
+			return res, fmt.Errorf("core: source error: %s", m.Payload)
+		default:
+			return res, fmt.Errorf("core: unexpected message %v in post-copy", m.Type)
+		}
+	}
+	if err := d.conn.Send(transport.Message{Type: transport.MsgDone}); err != nil {
+		return res, err
+	}
+
+	gs := gate.Stats()
+	rep.PostCopyTime = clk.Now() - postStart
+	rep.TotalTime = clk.Now() - start
+	rep.MigratedBytes = d.meter.BytesSent() + d.meter.BytesReceived()
+	rep.BlocksPulled = int(gs.Pulls)
+	rep.StalePushes = int(gs.StalePushes)
+	rep.ReadStallTime = gs.ReadStallTime
+	return res, nil
+}

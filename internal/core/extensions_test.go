@@ -1,0 +1,391 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bbmig/internal/bitmap"
+	"bbmig/internal/blkback"
+	"bbmig/internal/blockdev"
+	"bbmig/internal/metrics"
+	"bbmig/internal/transport"
+	"bbmig/internal/vm"
+	"bbmig/internal/workload"
+)
+
+// TestSkipUnusedElidesFreeBlocks exercises the §VII guest-cooperation
+// extension: a mostly-empty disk migrates by sending only its allocated
+// blocks, and the destination still ends up bit-identical (zeros read as
+// zeros on the fresh VBD).
+func TestSkipUnusedElidesFreeBlocks(t *testing.T) {
+	e := newEnv(t) // every 3rd block allocated → ~683 of 2048
+	allocated := e.srcDisk.WrittenBlocks()
+	rep, res := e.runTPM(Config{SkipUnused: true}, nil)
+	e.checkConverged(res.CPU)
+	if got := rep.DiskIterations[0].Units; got != allocated {
+		t.Fatalf("first iteration sent %d blocks, allocation map has %d", got, allocated)
+	}
+	if rep.DiskIterations[0].Units >= testBlocks {
+		t.Fatal("SkipUnused sent the whole disk")
+	}
+	// Compare against a full migration's first iteration for the saving.
+	e2 := newEnv(t)
+	repFull, _ := e2.runTPM(Config{}, nil)
+	if rep.MigratedBytes >= repFull.MigratedBytes {
+		t.Fatalf("SkipUnused moved %d bytes, full migration %d", rep.MigratedBytes, repFull.MigratedBytes)
+	}
+}
+
+func TestSkipUnusedIgnoredWithoutAllocator(t *testing.T) {
+	e := newEnv(t)
+	// FileDisk does not implement Allocator: SkipUnused must fall back to
+	// the full disk rather than fail or corrupt.
+	img, err := blockdev.CreateFileDisk(t.TempDir()+"/img", testBlocks, blockdev.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer img.Close()
+	buf := make([]byte, blockdev.BlockSize)
+	for n := 0; n < testBlocks; n += 3 {
+		workload.FillBlock(buf, n, 0)
+		img.WriteBlock(n, buf)
+	}
+	e.src.Backend = blkback.NewBackend(img, testDomain)
+	e.router = NewRouter(e.src.Backend.Submit)
+	rep, _ := e.runTPM(Config{SkipUnused: true}, nil)
+	if rep.DiskIterations[0].Units != testBlocks {
+		t.Fatalf("non-allocator device sent %d blocks, want full %d", rep.DiskIterations[0].Units, testBlocks)
+	}
+}
+
+// TestVaultMultiHost walks a VM A→B→C→A and checks each hop's initial
+// bitmap is exactly the divergence the receiving host missed.
+func TestVaultMultiHost(t *testing.T) {
+	const blocks = 1000
+	v := NewVault(blocks)
+
+	// VM starts on A; B and C have never seen the disk.
+	if v.DivergentBlocks("B") != -1 {
+		t.Fatal("unknown peer reports divergence")
+	}
+	if got := v.InitialFor("B").Count(); got != blocks {
+		t.Fatalf("unknown peer initial = %d, want all-set %d", got, blocks)
+	}
+
+	// Migrate A→B (full). B's vault now knows A as synchronized.
+	v.MarkSynced("A")
+	if got := v.InitialFor("A").Count(); got != 0 {
+		t.Fatalf("freshly synced peer diverges by %d", got)
+	}
+
+	// Work on B dirties blocks 0-99: A is now behind by those.
+	dirty := newBitmapWith(blocks, 0, 100)
+	v.RecordWrites(dirty)
+	if got := v.DivergentBlocks("A"); got != 100 {
+		t.Fatalf("A divergence = %d, want 100", got)
+	}
+
+	// Migrate B→C (C unknown → full). After sync, C registers; A keeps
+	// its 100-block divergence (the vault state travels with the VM).
+	if got := v.InitialFor("C").Count(); got != blocks {
+		t.Fatal("C should need a full migration")
+	}
+	v.MarkSynced("C")
+
+	// Work on C dirties 50-149: now A is behind by 0-149, C's old host B
+	// by 50-149.
+	v.MarkSynced("B") // B was left synchronized at the migration point
+	v.RecordWrites(newBitmapWith(blocks, 50, 100))
+	if got := v.DivergentBlocks("A"); got != 150 {
+		t.Fatalf("A divergence = %d, want 150", got)
+	}
+	if got := v.DivergentBlocks("B"); got != 100 {
+		t.Fatalf("B divergence = %d, want 100", got)
+	}
+	// Migrating back to A needs 150 blocks, not the whole kilobyte disk.
+	if got := v.InitialFor("A").Count(); got != 150 {
+		t.Fatalf("A initial = %d", got)
+	}
+	v.MarkSynced("A")
+	if got := v.DivergentBlocks("A"); got != 0 {
+		t.Fatal("A not reset after sync")
+	}
+	if len(v.Peers()) != 3 {
+		t.Fatalf("peers = %v", v.Peers())
+	}
+}
+
+func newBitmapWith(n, lo, count int) *bitmap.Bitmap {
+	bm := bitmap.New(n)
+	bm.SetRange(lo, lo+count)
+	return bm
+}
+
+// TestVaultPanicsOnSizeMismatch guards the geometry invariant.
+func TestVaultPanicsOnSizeMismatch(t *testing.T) {
+	v := NewVault(10)
+	v.MarkSynced("A")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	v.RecordWrites(bitmap.New(11))
+}
+
+// TestVaultDrivenIM runs a real three-host migration chain using the vault
+// to seed each hop, verifying disk consistency at every stop.
+func TestVaultDrivenIM(t *testing.T) {
+	const domain = 1
+	disks := map[string]*blockdev.MemDisk{
+		"A": blockdev.NewMemDisk(testBlocks, blockdev.BlockSize),
+		"B": blockdev.NewMemDisk(testBlocks, blockdev.BlockSize),
+		"C": blockdev.NewMemDisk(testBlocks, blockdev.BlockSize),
+	}
+	shadow := blockdev.NewMemDisk(testBlocks, blockdev.BlockSize)
+	buf := make([]byte, blockdev.BlockSize)
+	for n := 0; n < testBlocks; n += 4 {
+		workload.FillBlock(buf, n, 0)
+		disks["A"].WriteBlock(n, buf)
+		shadow.WriteBlock(n, buf)
+	}
+	guest := vm.New("vaulted", domain, 64, 256)
+	vault := NewVault(testBlocks)
+	cur := "A"
+
+	// writeSome dirties a few blocks on the current host and tells the vault.
+	gen := uint32(0)
+	writeSome := func(lo, n int) {
+		dirty := bitmap.New(testBlocks)
+		for i := lo; i < lo+n; i++ {
+			gen++
+			workload.FillBlock(buf, i, gen)
+			if err := disks[cur].WriteBlock(i, buf); err != nil {
+				t.Fatal(err)
+			}
+			shadow.WriteBlock(i, buf)
+			dirty.Set(i)
+		}
+		vault.RecordWrites(dirty)
+	}
+
+	hop := func(to string) {
+		src := Host{VM: guest, Backend: blkback.NewBackend(disks[cur], domain)}
+		src.Backend.SeedDirty(vault.InitialFor(to))
+		dstVM := vm.NewDestination(guest)
+		dst := Host{VM: dstVM, Backend: blkback.NewBackend(disks[to], domain)}
+		c1, c2 := transport.NewPipe(64)
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := MigrateSource(Config{}, src, c1, src.Backend.SwapDirty())
+			errCh <- err
+		}()
+		if _, err := MigrateDest(Config{}, dst, c2); err != nil {
+			t.Fatalf("hop %s→%s dest: %v", cur, to, err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatalf("hop %s→%s src: %v", cur, to, err)
+		}
+		vault.MarkSynced(cur) // the host we left holds a synced copy
+		vault.MarkSynced(to)
+		cur = to
+		guest = dstVM
+		diffs, err := blockdev.Diff(disks[to], shadow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diffs) != 0 {
+			t.Fatalf("after hop to %s, %d blocks differ", to, len(diffs))
+		}
+	}
+
+	writeSome(100, 30)
+	hop("B")
+	writeSome(200, 20)
+	hop("C")
+	writeSome(300, 10)
+	hop("A") // back to A: must carry blocks 200-219 and 300-309, not everything
+	if v := vault.DivergentBlocks("A"); v != 0 {
+		t.Fatalf("A still diverges by %d", v)
+	}
+}
+
+// TestCompressedMigration runs TPM through symmetric compression wrappers
+// and verifies consistency plus a wire-byte reduction on the zero-heavy
+// disk.
+func TestCompressedMigration(t *testing.T) {
+	e := newEnv(t)
+	rawSrc, rawDst := e.connSrc, e.connDst
+	meter := transport.NewMeter(rawSrc)
+	cs, err := transport.NewCompressed(meter, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := transport.NewCompressed(rawDst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.connSrc, e.connDst = cs, cd
+	rep, res := e.runTPM(Config{}, nil)
+	e.checkConverged(res.CPU)
+	// 2/3 of the disk is zeros and the patterned blocks are regular: the
+	// wire must carry far less than the logical amount.
+	if meter.BytesSent() >= rep.DiskBytes/2 {
+		t.Fatalf("compressed wire bytes %d vs %d logical — compression ineffective",
+			meter.BytesSent(), rep.DiskBytes)
+	}
+}
+
+// TestMigrationSurvivesLinkDeath injects connection failures at several
+// points and requires both sides to return errors promptly — no hangs, no
+// partial success reported as success.
+func TestMigrationSurvivesLinkDeath(t *testing.T) {
+	// Fault points land in the handshake, early disk pre-copy, mid disk
+	// pre-copy, and the memory phase (the idle migration totals ~2320
+	// sends, so all of these strike mid-flight).
+	for _, failAfter := range []int64{1, 5, 100, 2100} {
+		e := newEnv(t)
+		faulty := transport.NewFaultConn(e.connSrc, failAfter, 0)
+		srcCh := make(chan error, 1)
+		go func() {
+			_, err := MigrateSource(Config{}, e.src, faulty, nil)
+			srcCh <- err
+		}()
+		dstCh := make(chan error, 1)
+		go func() {
+			_, err := MigrateDest(Config{}, e.dst, e.connDst)
+			dstCh <- err
+		}()
+		timeout := time.After(10 * time.Second)
+		for i := 0; i < 2; i++ {
+			select {
+			case err := <-srcCh:
+				if err == nil {
+					t.Fatalf("failAfter=%d: source reported success over a dead link", failAfter)
+				}
+			case err := <-dstCh:
+				if err == nil {
+					t.Fatalf("failAfter=%d: destination reported success over a dead link", failAfter)
+				}
+			case <-timeout:
+				t.Fatalf("failAfter=%d: migration hung after link death", failAfter)
+			}
+		}
+		// the source VM must still be intact and runnable
+		if e.src.VM.State() != vm.Running {
+			t.Fatalf("failAfter=%d: source VM state %v after failed migration", failAfter, e.src.VM.State())
+		}
+	}
+}
+
+// TestLinkDeathDuringPostCopy cuts the link after the destination resumed:
+// the destination VM is already running; the engine must surface the error.
+func TestLinkDeathDuringPostCopy(t *testing.T) {
+	e := newEnv(t)
+	// Keep a large dirty set for post-copy (single iteration, then
+	// everything else rides the bitmap).
+	buf := make([]byte, blockdev.BlockSize)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for !e.src.Backend.Tracking() {
+			time.Sleep(time.Millisecond)
+		}
+		for n := 0; n < 600; n++ {
+			workload.FillBlock(buf, n, 1)
+			e.router.Submit(blockdev.Request{Op: blockdev.Write, Block: n, Domain: testDomain, Data: buf})
+		}
+	}()
+	// Fail the source's sends a little after the resume handshake: the
+	// hello + iteration + pages + control messages total ~2320, and the
+	// freeze waits for all 600 dirty writes to land, so cutting at 2500
+	// sends is guaranteed to strike inside the post-copy push stream.
+	faulty := transport.NewFaultConn(e.connSrc, 2500, 0)
+	cfg := Config{MaxDiskIters: 1, OnFreeze: func() {
+		<-writerDone
+		e.router.Freeze()
+	}}
+	srcCh := make(chan error, 1)
+	go func() {
+		_, err := MigrateSource(cfg, e.src, faulty, nil)
+		srcCh <- err
+	}()
+	_, dstErr := MigrateDest(Config{MaxDiskIters: 1}, e.dst, e.connDst)
+	srcErr := <-srcCh
+	if srcErr == nil && dstErr == nil {
+		t.Fatal("both sides reported success despite link death")
+	}
+}
+
+// TestReportStorageTime covers the Table II accounting helper.
+func TestReportStorageTime(t *testing.T) {
+	r := metrics.Report{
+		PostCopyTime: 100 * time.Millisecond,
+		DiskIterations: []metrics.Iteration{
+			{Duration: time.Second}, {Duration: 2 * time.Second},
+		},
+		MemIterations: []metrics.Iteration{{Duration: time.Hour}}, // excluded
+	}
+	if got := r.StorageTime(); got != 3*time.Second+100*time.Millisecond {
+		t.Fatalf("StorageTime = %v", got)
+	}
+}
+
+func TestVaultMarshalRoundTrip(t *testing.T) {
+	v := NewVault(500)
+	v.MarkSynced("alpha")
+	v.MarkSynced("beta")
+	v.RecordWrites(newBitmapWith(500, 10, 25))
+	v.MarkSynced("beta") // beta resynced: empty set
+	v.RecordWrites(newBitmapWith(500, 100, 5))
+
+	data, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalVault(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DivergentBlocks("alpha") != 30 || got.DivergentBlocks("beta") != 5 {
+		t.Fatalf("divergence after round trip: alpha=%d beta=%d",
+			got.DivergentBlocks("alpha"), got.DivergentBlocks("beta"))
+	}
+	if got.DivergentBlocks("gamma") != -1 {
+		t.Fatal("phantom peer after round trip")
+	}
+	// deterministic wire form
+	data2, _ := v.MarshalBinary()
+	if string(data) != string(data2) {
+		t.Fatal("marshal not deterministic")
+	}
+	// corruption rejected
+	if _, err := UnmarshalVault(data[:8]); err == nil {
+		t.Fatal("truncated vault accepted")
+	}
+	if _, err := UnmarshalVault(data[:len(data)-3]); err == nil {
+		t.Fatal("clipped vault accepted")
+	}
+}
+
+func TestVaultAddPeerAndRecordWriteRange(t *testing.T) {
+	v := NewVault(100)
+	v.AddPeer("X")
+	v.AddPeer("X") // idempotent
+	if got := v.DivergentBlocks("X"); got != 0 {
+		t.Fatalf("new peer diverges by %d", got)
+	}
+	v.RecordWriteRange(10, 20)
+	if got := v.DivergentBlocks("X"); got != 10 {
+		t.Fatalf("divergence = %d", got)
+	}
+	if len(v.Peers()) != 1 {
+		t.Fatalf("peers = %v", v.Peers())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative vault accepted")
+		}
+	}()
+	NewVault(-1)
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"bbmig/internal/bitmap"
+	"bbmig/internal/blockdev"
+	"bbmig/internal/clock"
+	"bbmig/internal/metrics"
+	"bbmig/internal/transport"
+)
+
+// MigrateSource runs the source side of a TPM migration over conn. initial
+// selects the blocks to send in the first disk iteration: nil means the
+// whole disk (primary migration); a bitmap from a previous migration's
+// destination gate selects incremental migration (§V).
+//
+// On success the source VM is Stopped (the paper's finite source dependency:
+// once MsgDone arrives, the source machine may be shut down) and the report
+// carries every §III-A metric the source can observe.
+func MigrateSource(cfg Config, host Host, conn transport.Conn, initial *bitmap.Bitmap) (*metrics.Report, error) {
+	cfg = cfg.withDefaults()
+	s := &sourceRun{cfg: cfg, host: host, clk: cfg.Clock}
+	s.meter = transport.NewMeter(conn)
+	s.conn = s.meter
+	if cfg.BandwidthLimit != clock.Unlimited {
+		s.limiter = clock.NewRateLimiter(cfg.Clock, cfg.BandwidthLimit, cfg.BandwidthLimit/10)
+	}
+	rep, err := s.run(initial)
+	if err != nil {
+		// best-effort abort notification
+		_ = s.conn.Send(transport.Message{Type: transport.MsgError, Payload: []byte(err.Error())})
+		return rep, err
+	}
+	return rep, nil
+}
+
+type sourceRun struct {
+	cfg     Config
+	host    Host
+	clk     clock.Clock
+	conn    transport.Conn
+	meter   *transport.Meter
+	limiter *clock.RateLimiter
+
+	// post-copy coordination (set by the reader goroutine)
+	pullCh    chan int
+	resumedCh chan time.Duration // destination resume observed (clock time)
+	doneCh    chan error
+}
+
+// send transmits m, applying the pre-copy bandwidth cap when limited is true.
+func (s *sourceRun) send(m transport.Message, limited bool) error {
+	if limited && s.limiter != nil {
+		s.limiter.Wait(m.FrameSize())
+	}
+	return s.conn.Send(m)
+}
+
+func (s *sourceRun) run(initial *bitmap.Bitmap) (*metrics.Report, error) {
+	dev := s.host.Backend.Device()
+	mem := s.host.VM.Memory()
+	rep := &metrics.Report{
+		Scheme:      "TPM",
+		DiskBytes:   blockdev.Capacity(dev),
+		MemoryBytes: int64(mem.NumPages()) * int64(mem.PageSize()),
+	}
+	if initial != nil {
+		rep.Scheme = "IM"
+	}
+	start := s.clk.Now()
+
+	// Initialization: handshake, ask the destination to prepare a VBD.
+	geom := transport.Geometry{
+		BlockSize: dev.BlockSize(), NumBlocks: dev.NumBlocks(),
+		PageSize: mem.PageSize(), NumPages: mem.NumPages(),
+	}
+	gb, err := geom.MarshalBinary()
+	if err != nil {
+		return rep, err
+	}
+	if err := s.send(transport.Message{Type: transport.MsgHello, Arg: transport.ProtocolVersion, Payload: gb}, false); err != nil {
+		return rep, err
+	}
+	ack, err := s.conn.Recv()
+	if err != nil {
+		return rep, fmt.Errorf("core: waiting for hello ack: %w", err)
+	}
+	if ack.Type != transport.MsgHelloAck {
+		return rep, fmt.Errorf("core: unexpected handshake reply %v", ack.Type)
+	}
+
+	// Start the destination reader before any pull/ack traffic can flow.
+	s.pullCh = make(chan int, 1024)
+	s.resumedCh = make(chan time.Duration, 1)
+	s.doneCh = make(chan error, 1)
+	go s.readLoop()
+
+	// --- Pre-copy phase: disk first, then memory (§IV-B: "disk storage
+	// data are pre-copied before memory copying because memory dirty rate
+	// is much higher"). ---
+	if err := s.diskPreCopy(rep, initial); err != nil {
+		return rep, err
+	}
+	if err := s.memPreCopy(rep); err != nil {
+		return rep, err
+	}
+	rep.PreCopyTime = s.clk.Now() - start
+
+	// --- Freeze-and-copy phase. ---
+	if s.cfg.OnFreeze != nil {
+		s.cfg.OnFreeze()
+	}
+	freezeStart := s.clk.Now()
+	if err := s.host.VM.Suspend(); err != nil {
+		return rep, fmt.Errorf("core: freeze: %w", err)
+	}
+	if err := s.send(transport.Message{Type: transport.MsgSuspend}, false); err != nil {
+		return rep, err
+	}
+	// Remaining dirty memory pages and CPU state.
+	finalPages := mem.SwapDirty()
+	nPages, pageBytes, err := s.sendPages(finalPages, false)
+	if err != nil {
+		return rep, err
+	}
+	rep.MemIterations = append(rep.MemIterations, metrics.Iteration{
+		Index: len(rep.MemIterations) + 1, Units: nPages, Bytes: pageBytes,
+		Duration: s.clk.Now() - freezeStart,
+	})
+	cpu := s.host.VM.CPU()
+	if err := s.send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}, false); err != nil {
+		return rep, err
+	}
+	// The block-bitmap of all inconsistent blocks — the only disk state
+	// transferred during downtime (§IV-A-3).
+	s.host.Backend.StopTracking()
+	finalDirty := s.host.Backend.SwapDirty()
+	bmBytes, err := finalDirty.MarshalBinary()
+	if err != nil {
+		return rep, err
+	}
+	if err := s.send(transport.Message{Type: transport.MsgBitmap, Payload: bmBytes}, false); err != nil {
+		return rep, err
+	}
+	if err := s.send(transport.Message{Type: transport.MsgResume}, false); err != nil {
+		return rep, err
+	}
+	// Downtime ends when the destination reports the VM running.
+	select {
+	case at := <-s.resumedCh:
+		rep.Downtime = at - freezeStart
+	case err := <-s.doneCh:
+		if err == nil {
+			err = fmt.Errorf("core: connection closed before resume")
+		}
+		return rep, err
+	}
+
+	// --- Post-copy phase: push all blocks in the bitmap, serving pulls
+	// preferentially (§IV-A-3). ---
+	postStart := s.clk.Now()
+	if err := s.pushBlocks(rep, finalDirty); err != nil {
+		return rep, err
+	}
+	// Wait for the destination's fully-synchronized acknowledgement.
+	if err := <-s.doneCh; err != nil {
+		return rep, err
+	}
+	rep.PostCopyTime = s.clk.Now() - postStart
+	rep.TotalTime = s.clk.Now() - start
+	rep.MigratedBytes = s.meter.BytesSent() + s.meter.BytesReceived()
+
+	// Finite dependency achieved: the source copy can be shut down.
+	s.host.VM.Stop()
+	return rep, nil
+}
+
+// diskPreCopy runs the iterative disk copy. Iteration 1 sends the initial
+// set (whole disk, or the incremental bitmap); iteration k sends the blocks
+// dirtied during iteration k-1. Stop conditions: dirty set below threshold,
+// iteration budget exhausted, or dirty rate outrunning transfer rate.
+func (s *sourceRun) diskPreCopy(rep *metrics.Report, initial *bitmap.Bitmap) error {
+	dev := s.host.Backend.Device()
+	s.host.Backend.StartTracking()
+
+	toSend := initial
+	if toSend == nil {
+		if alloc, ok := dev.(blockdev.Allocator); ok && s.cfg.SkipUnused {
+			toSend = alloc.AllocatedBitmap()
+		} else {
+			toSend = bitmap.NewAllSet(dev.NumBlocks())
+		}
+	}
+	prevSent := toSend.Count()
+	for iter := 1; ; iter++ {
+		iterStart := s.clk.Now()
+		if err := s.send(transport.Message{Type: transport.MsgIterStart, Arg: uint64(iter)}, true); err != nil {
+			return err
+		}
+		sent, bytes, err := s.sendBlocks(toSend)
+		if err != nil {
+			return err
+		}
+		if err := s.send(transport.Message{Type: transport.MsgIterEnd, Arg: uint64(sent)}, true); err != nil {
+			return err
+		}
+		iterDur := s.clk.Now() - iterStart
+		dirtyNow := s.host.Backend.DirtyCount()
+		rep.DiskIterations = append(rep.DiskIterations, metrics.Iteration{
+			Index: iter, Units: sent, Bytes: bytes, Duration: iterDur, DirtyEnd: dirtyNow,
+		})
+
+		// Stop conditions. The remaining dirty blocks stay in the backend
+		// bitmap and ride to the destination in freeze-and-copy.
+		if dirtyNow <= s.cfg.DiskDirtyThreshold {
+			return nil
+		}
+		if iter >= s.cfg.MaxDiskIters {
+			return nil
+		}
+		// Proactive stop: the dirty set stopped shrinking, so the dirty
+		// rate has caught up with the transfer rate (§IV-A-1).
+		if iter > 1 && dirtyNow >= prevSent {
+			return nil
+		}
+		prevSent = dirtyNow
+		toSend = s.host.Backend.SwapDirty()
+	}
+}
+
+// sendBlocks streams every block marked in bm and returns the count and
+// payload wire bytes.
+func (s *sourceRun) sendBlocks(bm *bitmap.Bitmap) (int, int64, error) {
+	dev := s.host.Backend.Device()
+	buf := make([]byte, dev.BlockSize())
+	sent := 0
+	var bytes int64
+	var fail error
+	bm.ForEachSet(func(n int) bool {
+		if err := dev.ReadBlock(n, buf); err != nil {
+			fail = err
+			return false
+		}
+		m := transport.Message{Type: transport.MsgBlockData, Arg: uint64(n), Payload: buf}
+		if err := s.send(m, true); err != nil {
+			fail = err
+			return false
+		}
+		sent++
+		bytes += int64(m.FrameSize())
+		return true
+	})
+	return sent, bytes, fail
+}
+
+// memPreCopy runs the Xen-style iterative memory pre-copy: iteration 1 sends
+// every page, later iterations send pages dirtied during the previous one.
+func (s *sourceRun) memPreCopy(rep *metrics.Report) error {
+	mem := s.host.VM.Memory()
+	mem.StartTracking()
+
+	toSend := bitmap.NewAllSet(mem.NumPages())
+	prevSent := toSend.Count()
+	for iter := 1; ; iter++ {
+		iterStart := s.clk.Now()
+		if err := s.send(transport.Message{Type: transport.MsgMemIterStart, Arg: uint64(iter)}, true); err != nil {
+			return err
+		}
+		sent, bytes, err := s.sendPages(toSend, true)
+		if err != nil {
+			return err
+		}
+		if err := s.send(transport.Message{Type: transport.MsgMemIterEnd, Arg: uint64(sent)}, true); err != nil {
+			return err
+		}
+		dirtyNow := mem.DirtyCount()
+		rep.MemIterations = append(rep.MemIterations, metrics.Iteration{
+			Index: iter, Units: sent, Bytes: bytes,
+			Duration: s.clk.Now() - iterStart, DirtyEnd: dirtyNow,
+		})
+		if dirtyNow <= s.cfg.MemDirtyThreshold || iter >= s.cfg.MaxMemIters {
+			return nil
+		}
+		if iter > 1 && dirtyNow >= prevSent {
+			return nil // writable working set reached; suspend handles the rest
+		}
+		prevSent = dirtyNow
+		toSend = mem.SwapDirty()
+	}
+}
+
+// sendPages streams every page marked in bm.
+func (s *sourceRun) sendPages(bm *bitmap.Bitmap, limited bool) (int, int64, error) {
+	mem := s.host.VM.Memory()
+	buf := make([]byte, mem.PageSize())
+	sent := 0
+	var bytes int64
+	var fail error
+	bm.ForEachSet(func(n int) bool {
+		if err := mem.ReadPage(n, buf); err != nil {
+			fail = err
+			return false
+		}
+		m := transport.Message{Type: transport.MsgMemPage, Arg: uint64(n), Payload: buf}
+		if err := s.send(m, limited); err != nil {
+			fail = err
+			return false
+		}
+		sent++
+		bytes += int64(m.FrameSize())
+		return true
+	})
+	return sent, bytes, fail
+}
+
+// pushBlocks pushes every block of bm to the destination, serving queued
+// pull requests first ("sends the pulled block preferentially").
+func (s *sourceRun) pushBlocks(rep *metrics.Report, bm *bitmap.Bitmap) error {
+	dev := s.host.Backend.Device()
+	buf := make([]byte, dev.BlockSize())
+	sendBlock := func(n int) error {
+		if err := dev.ReadBlock(n, buf); err != nil {
+			return err
+		}
+		return s.send(transport.Message{Type: transport.MsgBlockData, Arg: uint64(n), Payload: buf}, false)
+	}
+	remaining := bm.Clone()
+	for {
+		// Serve every queued pull first.
+		for {
+			select {
+			case n := <-s.pullCh:
+				if remaining.Test(n) { // not yet pushed
+					if err := sendBlock(n); err != nil {
+						return err
+					}
+					remaining.Clear(n)
+					rep.BlocksPulled++
+				}
+				continue
+			default:
+			}
+			break
+		}
+		n := remaining.NextSet(0)
+		if n < 0 {
+			break
+		}
+		if err := sendBlock(n); err != nil {
+			return err
+		}
+		remaining.Clear(n)
+		rep.BlocksPushed++
+	}
+	return s.send(transport.Message{Type: transport.MsgPushDone}, false)
+}
+
+// readLoop consumes destination → source messages for the whole migration.
+func (s *sourceRun) readLoop() {
+	for {
+		m, err := s.conn.Recv()
+		if err != nil {
+			s.doneCh <- fmt.Errorf("core: source read loop: %w", err)
+			return
+		}
+		switch m.Type {
+		case transport.MsgPullRequest:
+			s.pullCh <- int(m.Arg)
+		case transport.MsgResumed:
+			s.resumedCh <- s.clk.Now()
+		case transport.MsgDone:
+			s.doneCh <- nil
+			return
+		case transport.MsgError:
+			s.doneCh <- fmt.Errorf("core: destination error: %s", m.Payload)
+			return
+		default:
+			s.doneCh <- fmt.Errorf("core: unexpected message %v from destination", m.Type)
+			return
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package hostd is the host-daemon layer above the migration engine: the
+// role Domain0's toolstack (xend, xc_linux_save/restore) plays in the
+// paper's testbed. A Machine hosts multiple guest domains — the evaluation
+// runs "two domains concurrently on each physical machine" — provisions a
+// VBD for inbound migrations, drives each guest's synthetic workload, and
+// orchestrates outbound migrations. The per-domain Vault travels with the
+// VM, so migrating to any previously visited host is automatically
+// incremental (the paper's §VII multi-host future-work item).
+//
+// Wire protocol: an outbound migration opens a connection, sends one
+// MsgAnnounce frame (domain name, source host, geometry, workload), runs the
+// ordinary engine protocol, and finishes with a second MsgAnnounce frame
+// carrying the domain's serialized vault — sent after the freeze, so it
+// covers every write the guest ever made on the source.
+package hostd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bbmig/internal/blkback"
+	"bbmig/internal/blockdev"
+	"bbmig/internal/clock"
+	"bbmig/internal/core"
+	"bbmig/internal/metrics"
+	"bbmig/internal/transport"
+	"bbmig/internal/vm"
+	"bbmig/internal/workload"
+)
+
+// Domain is one guest managed by a Machine: the VM, its local disk, the I/O
+// plumbing, and the divergence vault that travels with it.
+type Domain struct {
+	Name string
+
+	vmRef   *vm.VM
+	disk    *blockdev.MemDisk
+	backend *blkback.Backend
+	router  *core.Router
+	vault   *core.Vault
+
+	workKind workload.Kind
+	workSeed int64
+	hasWork  bool
+	stopWork chan struct{}
+	workWG   sync.WaitGroup
+}
+
+// VM returns the guest.
+func (d *Domain) VM() *vm.VM { return d.vmRef }
+
+// Disk returns the guest's VBD.
+func (d *Domain) Disk() *blockdev.MemDisk { return d.disk }
+
+// Vault returns the divergence vault (for inspection by tests and tools).
+func (d *Domain) Vault() *core.Vault { return d.vault }
+
+// Submit routes one I/O request through the domain's current path and
+// records writes in the vault, for callers driving their own load instead of
+// a built-in workload. Every guest write MUST go through here (or the
+// built-in workload, which does): a write that bypasses the vault would be
+// invisible to future incremental migrations.
+func (d *Domain) Submit(req blockdev.Request) error {
+	if err := d.router.Submit(req); err != nil {
+		return err
+	}
+	if req.Op == blockdev.Write && req.Domain == d.vmRef.DomainID {
+		d.vault.RecordWriteRange(req.Block, req.Block+1)
+	}
+	return nil
+}
+
+// startWorkload launches (or relaunches) the domain's synthetic load; each
+// launch advances the seed so the guest's processes produce new I/O after a
+// migration rather than replaying the old trace.
+func (d *Domain) startWorkload() {
+	d.stopWork = make(chan struct{})
+	d.workSeed++
+	gen := workload.New(d.workKind, d.disk.NumBlocks(), d.workSeed)
+	stop := d.stopWork
+	d.workWG.Add(1)
+	go func() {
+		defer d.workWG.Done()
+		// speedup 200: a laptop-scale stand-in for a continuously busy guest
+		_, _ = workload.Replay(clock.NewReal(), gen, d.vmRef.DomainID, 24*time.Hour, 200, d.Submit, stop)
+	}()
+}
+
+// StopWorkload quiesces the domain's workload, waiting for in-flight I/O.
+func (d *Domain) StopWorkload() {
+	if d.stopWork == nil {
+		return
+	}
+	close(d.stopWork)
+	d.workWG.Wait()
+	d.stopWork = nil
+}
+
+// Machine is one physical host running a set of domains.
+type Machine struct {
+	Name string
+
+	mu       sync.Mutex
+	domains  map[string]*Domain
+	retained map[string]*blockdev.MemDisk // disks of departed domains
+	nextID   int
+}
+
+// NewMachine returns an empty Machine.
+func NewMachine(name string) *Machine {
+	return &Machine{
+		Name:     name,
+		domains:  make(map[string]*Domain),
+		retained: make(map[string]*blockdev.MemDisk),
+		nextID:   1,
+	}
+}
+
+// Domains lists the names of the domains currently hosted here.
+func (m *Machine) Domains() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.domains))
+	for n := range m.domains {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Domain looks up a hosted domain.
+func (m *Machine) Domain(name string) (*Domain, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d, ok := m.domains[name]
+	return d, ok
+}
+
+// CreateDomain provisions and starts a fresh guest. With hasWorkload the
+// built-in generator of the given kind drives it continuously.
+func (m *Machine) CreateDomain(name string, blocks, pages int, kind workload.Kind, seed int64, hasWorkload bool) (*Domain, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.domains[name]; exists {
+		return nil, fmt.Errorf("hostd: domain %q already exists on %s", name, m.Name)
+	}
+	id := m.nextID
+	m.nextID++
+	d := &Domain{
+		Name:     name,
+		vmRef:    vm.New(name, id, pages, 1024),
+		disk:     blockdev.NewMemDisk(blocks, blockdev.BlockSize),
+		vault:    core.NewVault(blocks),
+		workKind: kind,
+		workSeed: seed,
+		hasWork:  hasWorkload,
+	}
+	d.backend = blkback.NewBackend(d.disk, id)
+	d.router = core.NewRouter(d.backend.Submit)
+	m.domains[name] = d
+	if hasWorkload {
+		d.startWorkload()
+	}
+	return d, nil
+}
+
+// announce is the first MsgAnnounce payload: identity and geometry.
+type announce struct {
+	name    string
+	srcHost string
+	geom    transport.Geometry
+	kind    workload.Kind
+	work    bool
+}
+
+func (a announce) marshal() ([]byte, error) {
+	gb, err := a.geom.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint16(out[0:], uint16(len(a.name)))
+	binary.LittleEndian.PutUint16(out[2:], uint16(len(a.srcHost)))
+	out[4] = byte(a.kind)
+	if a.work {
+		out[5] = 1
+	}
+	out = append(out, a.name...)
+	out = append(out, a.srcHost...)
+	out = append(out, gb...)
+	return out, nil
+}
+
+func unmarshalAnnounce(data []byte) (announce, error) {
+	var a announce
+	if len(data) < 8 {
+		return a, fmt.Errorf("hostd: announce truncated")
+	}
+	nameLen := int(binary.LittleEndian.Uint16(data[0:]))
+	srcLen := int(binary.LittleEndian.Uint16(data[2:]))
+	a.kind = workload.Kind(data[4])
+	a.work = data[5] == 1
+	const geomLen = 32
+	if len(data) != 8+nameLen+srcLen+geomLen {
+		return a, fmt.Errorf("hostd: announce length %d inconsistent", len(data))
+	}
+	a.name = string(data[8 : 8+nameLen])
+	a.srcHost = string(data[8+nameLen : 8+nameLen+srcLen])
+	return a, a.geom.UnmarshalBinary(data[8+nameLen+srcLen:])
+}
+
+// MigrateOut migrates a domain to the machine listening at addr. If the
+// domain's vault knows destHost, only the divergent blocks travel. On
+// success the domain leaves this machine; its disk is retained as the local
+// peer copy so the domain can return incrementally.
+func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config) (*metrics.Report, error) {
+	m.mu.Lock()
+	d, ok := m.domains[domainName]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("hostd: no domain %q on %s", domainName, m.Name)
+	}
+
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	mem := d.vmRef.Memory()
+	ann := announce{
+		name:    domainName,
+		srcHost: m.Name,
+		geom: transport.Geometry{
+			BlockSize: d.disk.BlockSize(), NumBlocks: d.disk.NumBlocks(),
+			PageSize: mem.PageSize(), NumPages: mem.NumPages(),
+		},
+		kind: d.workKind,
+		work: d.hasWork,
+	}
+	ab, err := ann.marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.Send(transport.Message{Type: transport.MsgAnnounce, Payload: ab}); err != nil {
+		return nil, err
+	}
+
+	// Seed incremental migration from the vault's view of the destination;
+	// writes from here to the freeze are tracked by the backend as usual.
+	d.backend.SeedDirty(d.vault.InitialFor(destHost))
+
+	userFreeze := cfg.OnFreeze
+	cfg.OnFreeze = func() {
+		if userFreeze != nil {
+			userFreeze()
+		}
+		d.StopWorkload()
+		d.router.Freeze()
+	}
+	rep, err := core.MigrateSource(cfg, core.Host{VM: d.vmRef, Backend: d.backend}, conn, d.backend.SwapDirty())
+	if err != nil {
+		// The guest must keep running here on failure.
+		d.router.ResumeAt(d.backend.Submit)
+		if d.hasWork && d.stopWork == nil {
+			d.startWorkload()
+		}
+		return rep, err
+	}
+
+	// Ship the vault — captured after the freeze, it covers every write the
+	// guest made on this host. The destination applies it before restarting
+	// the guest's activity.
+	vb, err := d.vault.MarshalBinary()
+	if err != nil {
+		return rep, err
+	}
+	if err := conn.Send(transport.Message{Type: transport.MsgAnnounce, Payload: vb}); err != nil {
+		return rep, fmt.Errorf("hostd: ship vault: %w", err)
+	}
+
+	// Finite dependency achieved: drop the domain, retain the frozen disk
+	// as this machine's peer copy.
+	m.mu.Lock()
+	delete(m.domains, domainName)
+	m.retained[domainName] = d.disk
+	m.mu.Unlock()
+	return rep, nil
+}
+
+// ServeOne accepts exactly one inbound migration on l and hosts the received
+// domain afterwards, returning the destination-side result.
+func (m *Machine) ServeOne(l net.Listener, cfg core.Config) (*core.DestResult, error) {
+	conn, err := transport.Accept(l)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return m.receive(conn, cfg)
+}
+
+func (m *Machine) receive(conn transport.Conn, cfg core.Config) (*core.DestResult, error) {
+	first, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if first.Type != transport.MsgAnnounce {
+		return nil, fmt.Errorf("hostd: expected ANNOUNCE, got %v", first.Type)
+	}
+	ann, err := unmarshalAnnounce(first.Payload)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if _, exists := m.domains[ann.name]; exists {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("hostd: domain %q already hosted on %s", ann.name, m.Name)
+	}
+	id := m.nextID
+	m.nextID++
+	// A returning domain resumes onto this machine's retained copy; a new
+	// one gets a fresh zeroed VBD.
+	disk := m.retained[ann.name]
+	if disk == nil || disk.NumBlocks() != ann.geom.NumBlocks {
+		disk = blockdev.NewMemDisk(ann.geom.NumBlocks, blockdev.BlockSize)
+	} else {
+		delete(m.retained, ann.name)
+	}
+	m.mu.Unlock()
+
+	d := &Domain{
+		Name:     ann.name,
+		disk:     disk,
+		workKind: ann.kind,
+		workSeed: int64(id) * 1000,
+		hasWork:  ann.work,
+	}
+	shell := vm.New(ann.name, id, ann.geom.NumPages, 0)
+	shell.Suspend()
+	d.vmRef = shell
+	d.backend = blkback.NewBackend(disk, id)
+	d.router = core.NewRouter(d.backend.Submit)
+
+	userResume := cfg.OnResume
+	cfg.OnResume = func(g *blkback.PostCopyGate) {
+		d.router.ResumeGate(g)
+		if userResume != nil {
+			userResume(g)
+		}
+	}
+	res, err := core.MigrateDest(cfg, core.Host{VM: shell, Backend: d.backend}, conn)
+	if err != nil {
+		return res, err
+	}
+
+	// The vault frame follows the engine's Done exchange.
+	vf, err := conn.Recv()
+	if err != nil {
+		return res, fmt.Errorf("hostd: waiting for vault: %w", err)
+	}
+	if vf.Type != transport.MsgAnnounce {
+		return res, fmt.Errorf("hostd: expected vault frame, got %v", vf.Type)
+	}
+	vault, err := core.UnmarshalVault(vf.Payload)
+	if err != nil {
+		return res, err
+	}
+	// Bookkeeping order matters: the source now holds a copy frozen at the
+	// freeze point (MarkSynced resets its set), and the post-copy fresh
+	// writes happened after that point (RecordWrites re-diverges every
+	// peer, including the source).
+	vault.MarkSynced(ann.srcHost)
+	vault.RecordWrites(res.Gate.FreshBitmap())
+	d.vault = vault
+
+	m.mu.Lock()
+	m.domains[ann.name] = d
+	m.mu.Unlock()
+	if d.hasWork {
+		d.startWorkload()
+	}
+	return res, nil
+}

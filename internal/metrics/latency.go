@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyTracker measures per-request service latency in labelled windows,
+// quantifying the paper's §III-A *disruption time*: "the time interval
+// during which clients connecting to the services running in the migrated
+// VM observe degradation of service responsiveness — requests by the client
+// take longer response time". Record every request with the window active at
+// the time ("before" / "migrating" / "after"); compare the distributions to
+// bound the disruption.
+type LatencyTracker struct {
+	mu      sync.Mutex
+	window  string
+	samples map[string][]time.Duration
+}
+
+// NewLatencyTracker returns a tracker starting in the given window.
+func NewLatencyTracker(window string) *LatencyTracker {
+	return &LatencyTracker{window: window, samples: map[string][]time.Duration{}}
+}
+
+// SetWindow switches the active window label.
+func (l *LatencyTracker) SetWindow(w string) {
+	l.mu.Lock()
+	l.window = w
+	l.mu.Unlock()
+}
+
+// Window returns the active window label.
+func (l *LatencyTracker) Window() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.window
+}
+
+// Record files one request latency under the active window.
+func (l *LatencyTracker) Record(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.window] = append(l.samples[l.window], d)
+	l.mu.Unlock()
+}
+
+// Count returns how many samples the window holds.
+func (l *LatencyTracker) Count(window string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples[window])
+}
+
+// Percentile returns the p-quantile (0 < p ≤ 1) of a window's latencies, or
+// 0 if the window is empty.
+func (l *LatencyTracker) Percentile(window string, p float64) time.Duration {
+	l.mu.Lock()
+	s := append([]time.Duration(nil), l.samples[window]...)
+	l.mu.Unlock()
+	if len(s) == 0 {
+		return 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p*float64(len(s))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Max returns the largest latency in a window.
+func (l *LatencyTracker) Max(window string) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var max time.Duration
+	for _, d := range l.samples[window] {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Summary renders one line per window with p50/p99/max.
+func (l *LatencyTracker) Summary() string {
+	l.mu.Lock()
+	windows := make([]string, 0, len(l.samples))
+	for w := range l.samples {
+		windows = append(windows, w)
+	}
+	l.mu.Unlock()
+	sort.Strings(windows)
+	out := ""
+	for _, w := range windows {
+		out += fmt.Sprintf("%-10s n=%-6d p50=%-10v p99=%-10v max=%v\n",
+			w, l.Count(w), l.Percentile(w, 0.5), l.Percentile(w, 0.99), l.Max(w))
+	}
+	return out
+}

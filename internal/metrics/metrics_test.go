@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRetransferredBlocks(t *testing.T) {
+	r := Report{
+		DiskIterations: []Iteration{
+			{Index: 1, Units: 10000},
+			{Index: 2, Units: 6000},
+			{Index: 3, Units: 680},
+		},
+	}
+	if got := r.RetransferredBlocks(); got != 6680 {
+		t.Fatalf("RetransferredBlocks = %d", got)
+	}
+	if r.DiskIterationCount() != 3 {
+		t.Fatal("iteration count wrong")
+	}
+}
+
+func TestMigratedMB(t *testing.T) {
+	r := Report{MigratedBytes: 39097 << 20}
+	if got := r.MigratedMB(); got != 39097 {
+		t.Fatalf("MigratedMB = %f", got)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{
+		Scheme:        "TPM",
+		Workload:      "web",
+		TotalTime:     796 * time.Second,
+		Downtime:      60 * time.Millisecond,
+		MigratedBytes: 100 << 20,
+		BlocksPushed:  61,
+		BlocksPulled:  1,
+	}
+	s := r.String()
+	for _, want := range []string{"TPM", "web", "796.0 s", "60 ms", "100 MB", "61 pushed, 1 pulled"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	s.Label, s.Unit = "throughput", "MB/s"
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	if got := s.Mean(0, 10*time.Second); got != 4.5 {
+		t.Fatalf("Mean = %f", got)
+	}
+	if got := s.Mean(2*time.Second, 4*time.Second); got != 2.5 {
+		t.Fatalf("windowed Mean = %f", got)
+	}
+	if got := s.Min(3*time.Second, 8*time.Second); got != 3 {
+		t.Fatalf("Min = %f", got)
+	}
+	if got := s.Min(20*time.Second, 30*time.Second); got != 0 {
+		t.Fatalf("empty Min = %f", got)
+	}
+	if got := s.Mean(20*time.Second, 30*time.Second); got != 0 {
+		t.Fatalf("empty Mean = %f", got)
+	}
+	var b strings.Builder
+	s.Render(&b)
+	if !strings.Contains(b.String(), "throughput") || len(strings.Split(b.String(), "\n")) < 10 {
+		t.Fatal("Render output malformed")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{
+		Title:   "TABLE I",
+		Columns: []string{"metric", "web", "stream"},
+	}
+	tb.AddRow("total (s)", "796", "798")
+	tb.AddRow("downtime (ms)", "60", "62")
+	out := tb.String()
+	if !strings.Contains(out, "TABLE I") || !strings.Contains(out, "downtime (ms)") {
+		t.Fatalf("table output %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// columns aligned: header and first row start of col2 must match
+	hdr, row := lines[1], lines[3]
+	if strings.Index(hdr, "web") != strings.Index(row, "796") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestLatencyTracker(t *testing.T) {
+	l := NewLatencyTracker("before")
+	if l.Window() != "before" {
+		t.Fatal("initial window wrong")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Record(time.Duration(i) * time.Millisecond)
+	}
+	l.SetWindow("migrating")
+	for i := 1; i <= 10; i++ {
+		l.Record(time.Duration(i*10) * time.Millisecond)
+	}
+	if l.Count("before") != 100 || l.Count("migrating") != 10 || l.Count("after") != 0 {
+		t.Fatalf("counts wrong: %d %d", l.Count("before"), l.Count("migrating"))
+	}
+	if got := l.Percentile("before", 0.5); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := l.Percentile("before", 1.0); got != 100*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := l.Percentile("empty", 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	if got := l.Max("migrating"); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	s := l.Summary()
+	if !strings.Contains(s, "before") || !strings.Contains(s, "migrating") {
+		t.Fatalf("summary %q", s)
+	}
+}
+
+func TestLatencyTrackerConcurrent(t *testing.T) {
+	l := NewLatencyTracker("w")
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				l.Record(time.Microsecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if l.Count("w") != 4000 {
+		t.Fatalf("Count = %d", l.Count("w"))
+	}
+}
+
+func TestStorageTimeSumsDiskPhases(t *testing.T) {
+	r := Report{
+		PostCopyTime: 500 * time.Millisecond,
+		DiskIterations: []Iteration{
+			{Duration: 10 * time.Second},
+			{Duration: 2 * time.Second},
+		},
+		MemIterations: []Iteration{{Duration: time.Hour}},
+	}
+	if got := r.StorageTime(); got != 12*time.Second+500*time.Millisecond {
+		t.Fatalf("StorageTime = %v", got)
+	}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"time"
+
+	"bbmig/internal/blockdev"
+	"bbmig/internal/workload"
+)
+
+// cursor adapts a workload generator into a resumable, slowdown-aware event
+// stream: the simulator peeks at the nominal I/O demand of the next window,
+// decides how much of that demand the contended disk can actually serve, and
+// then advances the workload's internal time by only the served fraction —
+// modelling a guest whose I/O genuinely slows down under migration pressure,
+// which is what Fig. 6 measures.
+type cursor struct {
+	g   workload.Generator
+	buf []workload.Access
+	wt  time.Duration // workload-internal time consumed so far
+}
+
+func newCursor(g workload.Generator) *cursor { return &cursor{g: g} }
+
+// idleGenerator is the empty workload: a guest with no I/O. RunIM uses it
+// because the paper's incremental migration happens after the work session
+// has ended.
+type idleGenerator struct{}
+
+// Name implements workload.Generator.
+func (idleGenerator) Name() string { return "idle" }
+
+// Next implements workload.Generator: a single no-op read far in the future,
+// repeated forever.
+func (idleGenerator) Next() workload.Access {
+	return workload.Access{At: 1000 * time.Hour, Op: blockdev.Read, Block: 0, Count: 1}
+}
+
+// Reset implements workload.Generator.
+func (idleGenerator) Reset() {}
+
+// fill extends the lookahead buffer until it covers horizon.
+func (c *cursor) fill(horizon time.Duration) {
+	for len(c.buf) == 0 || c.buf[len(c.buf)-1].At < horizon {
+		c.buf = append(c.buf, c.g.Next())
+	}
+}
+
+// peekDemandBytes returns the I/O bytes the workload would issue during the
+// next dt of its own time, without consuming anything.
+func (c *cursor) peekDemandBytes(dt time.Duration) int64 {
+	horizon := c.wt + dt
+	c.fill(horizon)
+	var bytes int64
+	for _, a := range c.buf {
+		if a.At >= horizon {
+			break
+		}
+		bytes += int64(a.Count) * blockdev.BlockSize
+	}
+	return bytes
+}
+
+// advance consumes d of workload time, invoking apply for each access.
+func (c *cursor) advance(d time.Duration, apply func(workload.Access)) {
+	horizon := c.wt + d
+	c.fill(horizon)
+	i := 0
+	for ; i < len(c.buf) && c.buf[i].At < horizon; i++ {
+		apply(c.buf[i])
+	}
+	c.buf = append(c.buf[:0], c.buf[i:]...)
+	c.wt = horizon
+}

@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"bbmig/internal/blockdev"
+	"bbmig/internal/workload"
+)
+
+// Band asserts keep the simulator honest against the paper's published
+// numbers: wide enough to tolerate seed/model noise, tight enough that a
+// regression in the engine logic or workload calibration trips them.
+
+func TestTableIShape(t *testing.T) {
+	results, tab := TableI(1)
+	if len(results) != 3 {
+		t.Fatalf("TableI returned %d results", len(results))
+	}
+	web, stream, diab := results[0].Report, results[1].Report, results[2].Report
+
+	// Paper: 796 / 798 / 957 seconds.
+	for _, want := range []struct {
+		name     string
+		total    float64
+		lo, hi   float64
+		paperVal float64
+	}{
+		{"web", web.TotalTime.Seconds(), 700, 900, 796},
+		{"stream", stream.TotalTime.Seconds(), 700, 900, 798},
+		{"diabolical", diab.TotalTime.Seconds(), 850, 1100, 957},
+	} {
+		if want.total < want.lo || want.total > want.hi {
+			t.Errorf("%s: total %.0f s outside [%.0f, %.0f] (paper %.0f)",
+				want.name, want.total, want.lo, want.hi, want.paperVal)
+		}
+	}
+	// The diabolical server must take the longest, like the paper.
+	if !(diab.TotalTime > web.TotalTime && diab.TotalTime > stream.TotalTime) {
+		t.Error("diabolical migration not the slowest")
+	}
+
+	// Paper downtimes: 60 / 62 / 110 ms.
+	check := func(name string, got time.Duration, lo, hi int64) {
+		if ms := got.Milliseconds(); ms < lo || ms > hi {
+			t.Errorf("%s downtime %d ms outside [%d, %d]", name, ms, lo, hi)
+		}
+	}
+	check("web", web.Downtime, 35, 95)
+	check("stream", stream.Downtime, 35, 95)
+	check("diabolical", diab.Downtime, 85, 170)
+	if diab.Downtime <= web.Downtime {
+		t.Error("diabolical downtime not the largest")
+	}
+
+	// Paper amounts: 39097 / 39072 / 40934 MB on a 39070 MB disk.
+	const disk = 39070.0
+	if mb := web.MigratedMB(); mb < disk || mb > disk+200 {
+		t.Errorf("web amount %.0f MB outside [%.0f, %.0f]", mb, disk, disk+200)
+	}
+	if mb := stream.MigratedMB(); mb < disk || mb > disk+50 {
+		t.Errorf("stream amount %.0f MB outside tight band", mb)
+	}
+	if mb := diab.MigratedMB(); mb < disk+500 || mb > disk+2500 {
+		t.Errorf("diabolical amount %.0f MB outside [+500, +2500]", mb)
+	}
+	if diab.MigratedBytes <= web.MigratedBytes {
+		t.Error("diabolical amount not the largest")
+	}
+	if !strings.Contains(tab.String(), "TABLE I") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestIterationNarrative(t *testing.T) {
+	results, _ := TableI(1)
+	web, stream, diab := results[0].Report, results[1].Report, results[2].Report
+
+	// §VI-C-1: web — 3 iterations, 6680 blocks retransferred, 62 left.
+	if n := web.DiskIterationCount(); n < 2 || n > 4 {
+		t.Errorf("web iterations = %d, paper saw 3", n)
+	}
+	if rb := web.RetransferredBlocks(); rb < 3000 || rb > 12000 {
+		t.Errorf("web retransferred %d blocks, paper saw 6680", rb)
+	}
+	if left := web.BlocksPushed + web.BlocksPulled; left < 20 || left > 400 {
+		t.Errorf("web post-copy synchronized %d blocks, paper saw 62", left)
+	}
+	// §VI-C-2: streaming — 2 iterations, 610 blocks, 5 left.
+	if n := stream.DiskIterationCount(); n != 2 {
+		t.Errorf("stream iterations = %d, paper saw 2", n)
+	}
+	if rb := stream.RetransferredBlocks(); rb < 300 || rb > 1200 {
+		t.Errorf("stream retransferred %d blocks, paper saw 610", rb)
+	}
+	if left := stream.BlocksPushed + stream.BlocksPulled; left < 1 || left > 60 {
+		t.Errorf("stream post-copy synchronized %d blocks, paper saw 5", left)
+	}
+	// §VI-C-3: diabolical — 4 iterations, ~1464 MB retransferred.
+	if n := diab.DiskIterationCount(); n != 4 {
+		t.Errorf("diabolical iterations = %d, paper saw 4", n)
+	}
+	retransMB := float64(diab.RetransferredBlocks()) * blockdev.BlockSize / (1 << 20)
+	if retransMB < 600 || retransMB > 2200 {
+		t.Errorf("diabolical retransferred %.0f MB, paper saw ~1464", retransMB)
+	}
+	// post-copy durations: paper 349 ms (web) / 380 ms (stream).
+	if pc := web.PostCopyTime; pc < 100*time.Millisecond || pc > time.Second {
+		t.Errorf("web post-copy %v, paper saw 349 ms", pc)
+	}
+	if !strings.Contains(IterationDetail(results[0]).String(), "post-copy") {
+		t.Error("IterationDetail rendering broken")
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	primary, _ := TableI(1)
+	ims, tab := TableII(primary)
+	if len(ims) != 3 {
+		t.Fatalf("TableII returned %d IM results", len(ims))
+	}
+	web, stream, diab := ims[0].Report, ims[1].Report, ims[2].Report
+
+	// Paper Table II: IM 1.0 s & 52.5 MB / 0.6 s & 5.5 MB / 17 s & 911.4 MB.
+	type band struct {
+		name       string
+		rep        func() (float64, float64)
+		tLo, tHi   float64
+		mbLo, mbHi float64
+	}
+	for _, b := range []band{
+		{"web", func() (float64, float64) { return web.StorageTime().Seconds(), web.MigratedMB() }, 0.3, 4, 30, 90},
+		{"stream", func() (float64, float64) { return stream.StorageTime().Seconds(), stream.MigratedMB() }, 0.2, 3, 2, 12},
+		{"diabolical", func() (float64, float64) { return diab.StorageTime().Seconds(), diab.MigratedMB() }, 8, 30, 450, 1200},
+	} {
+		secs, mb := b.rep()
+		if secs < b.tLo || secs > b.tHi {
+			t.Errorf("%s IM storage time %.1f s outside [%.1f, %.1f]", b.name, secs, b.tLo, b.tHi)
+		}
+		if mb < b.mbLo || mb > b.mbHi {
+			t.Errorf("%s IM amount %.1f MB outside [%.1f, %.1f]", b.name, mb, b.mbLo, b.mbHi)
+		}
+	}
+	// The defining claim: IM moves orders of magnitude less than primary.
+	for i := range ims {
+		if ims[i].Report.MigratedBytes*10 > primary[i].Report.MigratedBytes {
+			t.Errorf("IM %d moved %d bytes vs primary %d — not incremental",
+				i, ims[i].Report.MigratedBytes, primary[i].Report.MigratedBytes)
+		}
+		if ims[i].Report.Scheme != "IM" {
+			t.Errorf("scheme %q", ims[i].Report.Scheme)
+		}
+	}
+	if !strings.Contains(tab.String(), "IM") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestIMIdleSingleIteration(t *testing.T) {
+	p := Defaults(workload.Stream)
+	p.DwellAfter = 5 * time.Minute
+	r := RunTPM(p)
+	im := r.RunIM()
+	// With the guest idle on the way back, nothing gets re-dirtied: IM is
+	// one iteration and retransfers nothing.
+	if n := im.Report.DiskIterationCount(); n != 1 {
+		t.Fatalf("idle IM took %d iterations", n)
+	}
+	if im.Report.RetransferredBlocks() != 0 {
+		t.Fatal("idle IM retransferred blocks")
+	}
+	if im.Report.DiskIterations[0].Units != r.FreshBlocks() {
+		t.Fatalf("IM sent %d blocks, fresh set is %d",
+			im.Report.DiskIterations[0].Units, r.FreshBlocks())
+	}
+}
+
+func TestTableIIIOverheadUnderOnePercentish(t *testing.T) {
+	results, tab := TableIII(1<<16, 200000)
+	if len(results) != 3 {
+		t.Fatalf("%d rows", len(results))
+	}
+	for _, r := range results {
+		// The paper reports <1%; allow scheduling noise either way but fail
+		// if tracking costs real throughput.
+		if r.OverheadPercent > 2 {
+			t.Errorf("%s: tracking overhead %.2f%% — should be ~free", r.Test, r.OverheadPercent)
+		}
+		if r.NormalKBps <= 0 || r.TrackedKBps <= 0 {
+			t.Errorf("%s: degenerate throughput %+v", r.Test, r)
+		}
+	}
+	if !strings.Contains(tab.String(), "With writes tracked") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFig5NoVisibleDip(t *testing.T) {
+	r := Fig5(1)
+	during := r.WorkloadSeries.Mean(r.MigStart, r.MigEnd)
+	after := r.WorkloadSeries.Mean(r.MigEnd+time.Minute, r.MigEnd+10*time.Minute)
+	if after == 0 {
+		t.Fatal("no post-migration samples")
+	}
+	drop := 1 - during/after
+	if drop > 0.10 || drop < -0.10 {
+		t.Fatalf("web throughput changed %.1f%% during migration — paper shows no noticeable drop", drop*100)
+	}
+}
+
+func TestFig6ImpactAndRateLimit(t *testing.T) {
+	unl, lim := Fig6(1)
+	impact := func(r *Result) float64 {
+		free := r.WorkloadSeries.Mean(r.MigEnd+2*time.Minute, r.MigEnd+8*time.Minute)
+		during := r.WorkloadSeries.Mean(r.MigStart, r.MigEnd)
+		if free == 0 {
+			t.Fatal("no free-running samples")
+		}
+		return 1 - during/free
+	}
+	iu, il := impact(unl), impact(lim)
+	// Unlimited migration visibly hurts Bonnie++ (Fig. 6)...
+	if iu < 0.05 {
+		t.Errorf("unlimited impact only %.1f%% — Fig 6 shows a clear dip", iu*100)
+	}
+	// ...limiting the rate reduces the impact (§VI-C-3: "about 50%")...
+	if il > iu*0.8 {
+		t.Errorf("limited impact %.1f%% not clearly below unlimited %.1f%%", il*100, iu*100)
+	}
+	// ...at the cost of a longer pre-copy (§VI-C-3: "about 37% longer").
+	ratio := lim.Report.PreCopyTime.Seconds() / unl.Report.PreCopyTime.Seconds()
+	if ratio < 1.15 || ratio > 1.70 {
+		t.Errorf("rate-limited pre-copy %.2fx unlimited, paper saw ~1.37x", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := TableI(7)
+	b, _ := TableI(7)
+	for i := range a {
+		if a[i].Report.TotalTime != b[i].Report.TotalTime ||
+			a[i].Report.MigratedBytes != b[i].Report.MigratedBytes ||
+			a[i].Report.Downtime != b[i].Report.Downtime {
+			t.Fatalf("run %d not deterministic", i)
+		}
+	}
+}
+
+func TestLocalityTable(t *testing.T) {
+	tab := LocalityStats()
+	out := tab.String()
+	for _, w := range []string{"kernel-build", "dynamic-web-server", "diabolical-server", "25.2%"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("locality table missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestGranularityAblation(t *testing.T) {
+	tab := GranularityAblation(32 << 30)
+	out := tab.String()
+	// Paper: 1 MB bitmap per 32 GB disk at 4 KiB blocks, 8 MB at 512 B.
+	if !strings.Contains(out, "1.00 MiB") || !strings.Contains(out, "8.00 MiB") {
+		t.Fatalf("granularity ablation wrong:\n%s", out)
+	}
+}
+
+func TestCursorSemantics(t *testing.T) {
+	g := workload.NewStreaming(1<<20, 1)
+	c := newCursor(g)
+	d1 := c.peekDemandBytes(10 * time.Second)
+	d2 := c.peekDemandBytes(10 * time.Second)
+	if d1 != d2 {
+		t.Fatal("peek consumed events")
+	}
+	if d1 <= 0 {
+		t.Fatal("no demand from streaming workload")
+	}
+	var n1 int
+	c.advance(10*time.Second, func(a workload.Access) { n1++ })
+	if n1 == 0 {
+		t.Fatal("advance applied nothing")
+	}
+	var n2 int
+	c.advance(10*time.Second, func(a workload.Access) { n2++ })
+	if n2 == 0 {
+		t.Fatal("second advance applied nothing")
+	}
+	// no event may be applied twice: total events in 20s equal a fresh count
+	g2 := workload.NewStreaming(1<<20, 1)
+	fresh := 0
+	for {
+		if g2.Next().At >= 20*time.Second {
+			break
+		}
+		fresh++
+	}
+	if n1+n2 != fresh {
+		t.Fatalf("cursor applied %d events, stream has %d", n1+n2, fresh)
+	}
+}
+
+func TestIdleGenerator(t *testing.T) {
+	c := newCursor(idleGenerator{})
+	if c.peekDemandBytes(time.Hour) != 0 {
+		t.Fatal("idle guest has demand")
+	}
+	applied := 0
+	c.advance(time.Hour, func(workload.Access) { applied++ })
+	if applied != 0 {
+		t.Fatal("idle guest applied accesses")
+	}
+	if (idleGenerator{}).Name() == "" {
+		t.Fatal("unnamed")
+	}
+}
+
+func TestRunTPMAccountingInvariants(t *testing.T) {
+	p := Defaults(workload.Web)
+	p.DwellAfter = time.Minute
+	r := RunTPM(p)
+	rep := r.Report
+	if rep.TotalTime != rep.PreCopyTime+rep.Downtime+rep.PostCopyTime {
+		t.Fatalf("phase times don't sum: %v != %v + %v + %v",
+			rep.TotalTime, rep.PreCopyTime, rep.Downtime, rep.PostCopyTime)
+	}
+	var iterBytes int64
+	for _, it := range rep.DiskIterations {
+		iterBytes += it.Bytes
+	}
+	if rep.MigratedBytes < iterBytes {
+		t.Fatal("amount excludes iteration payloads")
+	}
+	if rep.MemBytesMoved < rep.MemoryBytes {
+		t.Fatal("memory pre-copy moved less than one full pass")
+	}
+	if rep.DiskIterations[0].Units != p.DiskMB<<20/blockdev.BlockSize {
+		t.Fatal("first iteration didn't send the whole disk")
+	}
+}
+
+func TestDowntimeVsGranularity(t *testing.T) {
+	tab := DowntimeVsGranularity(workload.Web, 1)
+	out := tab.String()
+	if !strings.Contains(out, "512 B sector") || !strings.Contains(out, "4 KiB block") {
+		t.Fatalf("sweep missing rows:\n%s", out)
+	}
+	// The 512B row's downtime must exceed the 4KiB row's by roughly the
+	// extra 8.3 MiB of bitmap at ~49 MiB/s ≈ 160 ms.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var ms4k, ms512 int
+	for _, ln := range lines {
+		var bm float64
+		var xferMS, dtMS int
+		if n, _ := fmt.Sscanf(ln, "4 KiB block  %f  %d ms  %d ms", &bm, &xferMS, &dtMS); n == 3 {
+			ms4k = dtMS
+		}
+		if n, _ := fmt.Sscanf(ln, "512 B sector  %f  %d ms  %d ms", &bm, &xferMS, &dtMS); n == 3 {
+			ms512 = dtMS
+		}
+	}
+	if ms4k == 0 || ms512 == 0 {
+		t.Fatalf("could not parse sweep:\n%s", out)
+	}
+	if ms512 <= ms4k+100 {
+		t.Fatalf("512B downtime %d ms not clearly above 4KiB %d ms:\n%s", ms512, ms4k, out)
+	}
+}
+
+func TestSchemeComparison(t *testing.T) {
+	tab := SchemeComparison(workload.Web, 1)
+	out := tab.String()
+	for _, want := range []string{"freeze-and-copy", "on-demand", "delta forward", "TPM"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison missing %q:\n%s", want, out)
+		}
+	}
+	// Freeze-and-copy's downtime must be catastrophic (~whole transfer,
+	// >700 s at paper scale) while TPM's stays in milliseconds.
+	if !strings.Contains(out, "unbounded") {
+		t.Fatalf("on-demand residual dependency not flagged:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var fcLine, tpmLine string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "freeze-and-copy") {
+			fcLine = ln
+		}
+		if strings.HasPrefix(ln, "TPM") {
+			tpmLine = ln
+		}
+	}
+	var fcS float64
+	if _, err := fmt.Sscanf(strings.Fields(fcLine)[2], "%f", &fcS); err != nil || fcS < 700 {
+		t.Fatalf("freeze-and-copy downtime %v (line %q)", fcS, fcLine)
+	}
+	if !strings.Contains(tpmLine, "ms") {
+		t.Fatalf("TPM downtime not in ms: %q", tpmLine)
+	}
+}
+
+// TestTableIRobustAcrossSeeds re-runs Table I with different workload seeds
+// and requires the headline orderings to hold every time — the calibration
+// must not depend on one lucky random stream.
+func TestTableIRobustAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{2, 3, 5} {
+		results, _ := TableI(seed)
+		web, stream, diab := results[0].Report, results[1].Report, results[2].Report
+		if !(diab.TotalTime > web.TotalTime) || !(diab.TotalTime > stream.TotalTime) {
+			t.Errorf("seed %d: diabolical not slowest", seed)
+		}
+		if !(diab.Downtime > web.Downtime) {
+			t.Errorf("seed %d: diabolical downtime not largest", seed)
+		}
+		if !(diab.MigratedBytes > web.MigratedBytes) {
+			t.Errorf("seed %d: diabolical amount not largest", seed)
+		}
+		for i, r := range results {
+			if ms := r.Report.Downtime.Milliseconds(); ms < 30 || ms > 200 {
+				t.Errorf("seed %d workload %d: downtime %d ms out of band", seed, i, ms)
+			}
+			if s := r.Report.TotalTime.Seconds(); s < 650 || s > 1200 {
+				t.Errorf("seed %d workload %d: total %.0f s out of band", seed, i, s)
+			}
+		}
+	}
+}

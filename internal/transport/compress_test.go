@@ -1,0 +1,163 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func compressedPair(t *testing.T) (*Compressed, *Compressed, *Meter) {
+	t.Helper()
+	a, b := NewPipe(64)
+	meter := NewMeter(a)
+	ca, err := NewCompressed(meter, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := NewCompressed(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca, cb, meter
+}
+
+func TestCompressedRoundTrip(t *testing.T) {
+	ca, cb, _ := compressedPair(t)
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("hello"),
+		bytes.Repeat([]byte{0}, 4096),         // highly compressible
+		bytes.Repeat([]byte("abcd1234"), 512), // compressible
+		func() []byte { // incompressible
+			b := make([]byte, 4096)
+			for i := range b {
+				b[i] = byte(i*2654435761 + i>>3)
+			}
+			return b
+		}(),
+	}
+	for i, p := range payloads {
+		want := Message{Type: MsgBlockData, Arg: uint64(i), Payload: p}
+		if err := ca.Send(want); err != nil {
+			t.Fatalf("payload %d: send: %v", i, err)
+		}
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("payload %d: recv: %v", i, err)
+		}
+		if got.Arg != want.Arg || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("payload %d: round trip mismatch (%d vs %d bytes)", i, len(got.Payload), len(want.Payload))
+		}
+	}
+	ca.Close()
+	if _, err := ca.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv after close: %v", err)
+	}
+}
+
+func TestCompressedShrinksZeroBlocks(t *testing.T) {
+	ca, cb, meter := compressedPair(t)
+	const n = 64
+	payload := make([]byte, 4096) // a zero block, the common sparse case
+	go func() {
+		for i := 0; i < n; i++ {
+			ca.Send(Message{Type: MsgBlockData, Arg: uint64(i), Payload: payload})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := cb.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := int64(n * (4096 + headerLen))
+	if meter.BytesSent() > raw/10 {
+		t.Fatalf("compressed wire bytes %d, raw would be %d — no compression happened", meter.BytesSent(), raw)
+	}
+}
+
+func TestCompressedIncompressibleCostsOneByte(t *testing.T) {
+	ca, cb, meter := compressedPair(t)
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte((i*73 + i*i*31) ^ (i >> 2)) // poorly compressible
+	}
+	before := meter.BytesSent()
+	go ca.Send(Message{Type: MsgBlockData, Payload: payload})
+	m, err := cb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Payload, payload) {
+		t.Fatal("payload corrupted")
+	}
+	wire := meter.BytesSent() - before
+	// either deflate managed to shrink it, or we paid exactly 1 marker byte
+	if wire > int64(len(payload)+headerLen+1) {
+		t.Fatalf("incompressible payload cost %d wire bytes (max %d)", wire, len(payload)+headerLen+1)
+	}
+}
+
+func TestCompressedRejectsGarbageMarker(t *testing.T) {
+	a, b := NewPipe(4)
+	cb, _ := NewCompressed(b, 0)
+	a.Send(Message{Type: MsgBlockData, Payload: []byte{99, 1, 2}})
+	if _, err := cb.Recv(); err == nil {
+		t.Fatal("garbage marker accepted")
+	}
+	a.Send(Message{Type: MsgBlockData, Payload: []byte{compressDeflate, 0xff, 0xff}})
+	if _, err := cb.Recv(); err == nil {
+		t.Fatal("corrupt deflate stream accepted")
+	}
+}
+
+func TestQuickCompressedRoundTrip(t *testing.T) {
+	ca, cb, _ := compressedPair(t)
+	f := func(payload []byte, arg uint64) bool {
+		errc := make(chan error, 1)
+		go func() { errc <- ca.Send(Message{Type: MsgBlockData, Arg: arg, Payload: payload}) }()
+		m, err := cb.Recv()
+		if err != nil || <-errc != nil {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(m.Payload) == 0
+		}
+		return m.Arg == arg && bytes.Equal(m.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultConnSend(t *testing.T) {
+	a, b := NewPipe(16)
+	fa := NewFaultConn(a, 3, 0)
+	for i := 0; i < 3; i++ {
+		if err := fa.Send(Message{Type: MsgBlockData}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := fa.Send(Message{Type: MsgBlockData}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("4th send: %v", err)
+	}
+	// the link is dead for the peer too
+	if err := b.Send(Message{Type: MsgDone}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer send after fault: %v", err)
+	}
+}
+
+func TestFaultConnRecv(t *testing.T) {
+	a, b := NewPipe(16)
+	fb := NewFaultConn(b, 0, 1)
+	a.Send(Message{Type: MsgBlockData})
+	a.Send(Message{Type: MsgBlockData})
+	if _, err := fb.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fb.Recv(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("2nd recv: %v", err)
+	}
+	fb.Close()
+}

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"bbmig/internal/clock"
+)
+
+// Conn is a bidirectional, ordered message stream between the two migration
+// daemons. Send and Recv may be used from different goroutines; concurrent
+// Sends are serialized internally (the post-copy pusher and the pull-reply
+// path share one connection, like the paper's single blkd socket).
+type Conn interface {
+	// Send writes one message.
+	Send(m Message) error
+	// Recv reads the next message, blocking until one arrives.
+	Recv() (Message, error)
+	// Close tears down the connection; pending Recv calls fail.
+	Close() error
+}
+
+// streamConn frames messages over any byte stream.
+type streamConn struct {
+	sendMu sync.Mutex
+	w      *bufio.Writer
+	r      *bufio.Reader
+	c      io.Closer
+	buf    []byte // reused encode buffer, guarded by sendMu
+}
+
+// NewStream wraps a byte stream (typically a *net.TCPConn) as a Conn.
+func NewStream(rw io.ReadWriteCloser) Conn {
+	return &streamConn{
+		w: bufio.NewWriterSize(rw, 256<<10),
+		r: bufio.NewReaderSize(rw, 256<<10),
+		c: rw,
+	}
+}
+
+// Send implements Conn. Each message is flushed immediately: migration
+// control messages are latency-sensitive (a buffered SUSPEND would inflate
+// downtime).
+func (s *streamConn) Send(m Message) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	b, err := encode(s.buf[:0], m)
+	if err != nil {
+		return err
+	}
+	s.buf = b[:0]
+	if _, err := s.w.Write(b); err != nil {
+		return fmt.Errorf("transport: send %v: %w", m.Type, err)
+	}
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush %v: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (s *streamConn) Recv() (Message, error) { return readMessage(s.r) }
+
+// Close implements Conn.
+func (s *streamConn) Close() error { return s.c.Close() }
+
+// Dial connects to a destination migration daemon over TCP.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // control messages must not wait for Nagle
+	}
+	return NewStream(c), nil
+}
+
+// Listen accepts one migration connection on addr and returns it together
+// with the listener's bound address (useful with ":0").
+func Listen(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return l, nil
+}
+
+// Accept waits for one connection on l and wraps it as a Conn.
+func Accept(l net.Listener) (Conn, error) {
+	c, err := l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewStream(c), nil
+}
+
+// Meter counts the wire bytes crossing a Conn in each direction. The
+// migration engine reads it to report the paper's "amount of migrated data"
+// metric.
+type Meter struct {
+	inner     Conn
+	sent      atomic.Int64
+	received  atomic.Int64
+	sentMsgs  atomic.Int64
+	recvdMsgs atomic.Int64
+}
+
+// NewMeter wraps inner with byte accounting.
+func NewMeter(inner Conn) *Meter { return &Meter{inner: inner} }
+
+// Send implements Conn.
+func (m *Meter) Send(msg Message) error {
+	if err := m.inner.Send(msg); err != nil {
+		return err
+	}
+	m.sent.Add(int64(msg.FrameSize()))
+	m.sentMsgs.Add(1)
+	return nil
+}
+
+// Recv implements Conn.
+func (m *Meter) Recv() (Message, error) {
+	msg, err := m.inner.Recv()
+	if err != nil {
+		return msg, err
+	}
+	m.received.Add(int64(msg.FrameSize()))
+	m.recvdMsgs.Add(1)
+	return msg, nil
+}
+
+// Close implements Conn.
+func (m *Meter) Close() error { return m.inner.Close() }
+
+// BytesSent returns the cumulative wire bytes sent.
+func (m *Meter) BytesSent() int64 { return m.sent.Load() }
+
+// BytesReceived returns the cumulative wire bytes received.
+func (m *Meter) BytesReceived() int64 { return m.received.Load() }
+
+// MessagesSent returns the number of messages sent.
+func (m *Meter) MessagesSent() int64 { return m.sentMsgs.Load() }
+
+// MessagesReceived returns the number of messages received.
+func (m *Meter) MessagesReceived() int64 { return m.recvdMsgs.Load() }
+
+// Shaped applies a token-bucket bandwidth cap to a Conn's send path,
+// implementing the paper's migration rate limit. The limiter may be shared
+// between several Conns to model one capped NIC.
+type Shaped struct {
+	inner   Conn
+	limiter *clock.RateLimiter
+}
+
+// NewShaped wraps inner so every Send first acquires the message's frame
+// size from limiter.
+func NewShaped(inner Conn, limiter *clock.RateLimiter) *Shaped {
+	return &Shaped{inner: inner, limiter: limiter}
+}
+
+// Send implements Conn.
+func (s *Shaped) Send(m Message) error {
+	s.limiter.Wait(m.FrameSize())
+	return s.inner.Send(m)
+}
+
+// Recv implements Conn.
+func (s *Shaped) Recv() (Message, error) { return s.inner.Recv() }
+
+// Close implements Conn.
+func (s *Shaped) Close() error { return s.inner.Close() }

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the failure a FaultConn injects.
+var ErrInjected = errors.New("transport: injected fault")
+
+// FaultConn wraps a Conn and fails after a configured number of operations,
+// for testing the engine's behaviour when the network dies mid-migration
+// (the failure mode behind the paper's availability argument: a migration
+// must either complete or leave both sides able to report a clean error).
+type FaultConn struct {
+	inner Conn
+	// FailAfterSends / FailAfterRecvs inject ErrInjected once that many
+	// operations have succeeded; 0 disables that trigger.
+	failAfterSends int64
+	failAfterRecvs int64
+	sends          atomic.Int64
+	recvs          atomic.Int64
+}
+
+// NewFaultConn wraps inner, failing sends after failSends successful sends
+// and recvs after failRecvs successful recvs (0 disables either trigger).
+func NewFaultConn(inner Conn, failSends, failRecvs int64) *FaultConn {
+	return &FaultConn{inner: inner, failAfterSends: failSends, failAfterRecvs: failRecvs}
+}
+
+// Send implements Conn.
+func (f *FaultConn) Send(m Message) error {
+	if f.failAfterSends > 0 && f.sends.Add(1) > f.failAfterSends {
+		f.inner.Close() // a dead link kills both directions
+		return ErrInjected
+	}
+	return f.inner.Send(m)
+}
+
+// Recv implements Conn.
+func (f *FaultConn) Recv() (Message, error) {
+	if f.failAfterRecvs > 0 && f.recvs.Add(1) > f.failAfterRecvs {
+		f.inner.Close()
+		return Message{}, ErrInjected
+	}
+	return f.inner.Recv()
+}
+
+// Close implements Conn.
+func (f *FaultConn) Close() error { return f.inner.Close() }

@@ -1,0 +1,160 @@
+package vm
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"sync"
+)
+
+// CPUState is the opaque register file transferred during freeze-and-copy.
+// The migration engine never interprets it — it only needs the bytes to
+// arrive intact, which Equal verifies in tests.
+type CPUState struct {
+	Registers []byte
+}
+
+// NewCPUState returns a CPUState of n random register bytes, standing in for
+// the architectural state a hypervisor would serialize.
+func NewCPUState(n int) CPUState {
+	r := make([]byte, n)
+	if _, err := rand.Read(r); err != nil {
+		panic(fmt.Sprintf("vm: cpu state entropy: %v", err))
+	}
+	return CPUState{Registers: r}
+}
+
+// Equal reports whether two CPU states are identical.
+func (c CPUState) Equal(o CPUState) bool { return bytes.Equal(c.Registers, o.Registers) }
+
+// Clone returns a deep copy.
+func (c CPUState) Clone() CPUState {
+	r := make([]byte, len(c.Registers))
+	copy(r, c.Registers)
+	return CPUState{Registers: r}
+}
+
+// State is the VM lifecycle state.
+type State int
+
+// Lifecycle states. A migrating VM is Running on the source until
+// freeze-and-copy suspends it, then Running again on the destination after
+// the post-copy resume.
+const (
+	// Running means the guest executes and submits I/O.
+	Running State = iota
+	// Suspended means the guest is frozen (freeze-and-copy phase).
+	Suspended
+	// Stopped means the VM was shut down (e.g. the source copy after a
+	// completed migration).
+	Stopped
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Suspended:
+		return "suspended"
+	case Stopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// VM is a migratable virtual machine: a domain ID (the paper's R.VM field),
+// memory, and CPU state. The VBD is attached externally through the blkback
+// layer, mirroring Xen's split-driver architecture where the disk lives in
+// Domain0, not in the guest.
+type VM struct {
+	Name     string
+	DomainID int
+
+	mu    sync.RWMutex
+	state State
+	mem   *Memory
+	cpu   CPUState
+}
+
+// New returns a Running VM with the given memory geometry and CPU state size.
+func New(name string, domainID, numPages, cpuBytes int) *VM {
+	return &VM{
+		Name:     name,
+		DomainID: domainID,
+		state:    Running,
+		mem:      NewMemory(numPages, PageSize),
+		cpu:      NewCPUState(cpuBytes),
+	}
+}
+
+// Memory returns the guest memory.
+func (v *VM) Memory() *Memory {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.mem
+}
+
+// CPU returns a copy of the CPU state.
+func (v *VM) CPU() CPUState {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.cpu.Clone()
+}
+
+// SetCPU installs CPU state (used on the destination after freeze-and-copy).
+func (v *VM) SetCPU(c CPUState) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.cpu = c.Clone()
+}
+
+// State returns the lifecycle state.
+func (v *VM) State() State {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.state
+}
+
+// Suspend freezes a Running VM. Suspending a non-running VM is an error —
+// the engine must never double-suspend.
+func (v *VM) Suspend() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.state != Running {
+		return fmt.Errorf("vm %s: suspend in state %v", v.Name, v.state)
+	}
+	v.state = Suspended
+	return nil
+}
+
+// Resume unfreezes a Suspended VM.
+func (v *VM) Resume() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.state != Suspended {
+		return fmt.Errorf("vm %s: resume in state %v", v.Name, v.state)
+	}
+	v.state = Running
+	return nil
+}
+
+// Stop shuts the VM down from any state.
+func (v *VM) Stop() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.state = Stopped
+}
+
+// NewDestination builds the destination-side shell of a migrating VM: same
+// name/domain, empty memory of identical geometry, no CPU state yet.
+func NewDestination(src *VM) *VM {
+	m := src.Memory()
+	return &VM{
+		Name:     src.Name,
+		DomainID: src.DomainID,
+		state:    Suspended, // born frozen; resumed by post-copy
+		mem:      NewMemory(m.NumPages(), m.PageSize()),
+	}
+}

@@ -1,0 +1,223 @@
+package vm
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory(16, PageSize)
+	if m.NumPages() != 16 || m.PageSize() != PageSize {
+		t.Fatal("geometry wrong")
+	}
+	buf := make([]byte, PageSize)
+	if err := m.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, PageSize)) {
+		t.Fatal("fresh page not zero")
+	}
+	src := bytes.Repeat([]byte{0x5A}, PageSize)
+	if err := m.WritePage(7, src); err != nil {
+		t.Fatal(err)
+	}
+	m.ReadPage(7, buf)
+	if !bytes.Equal(buf, src) {
+		t.Fatal("round trip mismatch")
+	}
+	if m.AllocatedPages() != 1 || m.Writes() != 1 {
+		t.Fatalf("alloc=%d writes=%d", m.AllocatedPages(), m.Writes())
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m := NewMemory(4, PageSize)
+	buf := make([]byte, PageSize)
+	if err := m.ReadPage(4, buf); err == nil {
+		t.Fatal("OOB read accepted")
+	}
+	if err := m.WritePage(-1, buf); err == nil {
+		t.Fatal("OOB write accepted")
+	}
+	if err := m.ReadPage(0, buf[:8]); err == nil {
+		t.Fatal("short read buffer accepted")
+	}
+	if err := m.WritePage(0, buf[:8]); err == nil {
+		t.Fatal("short write buffer accepted")
+	}
+}
+
+func TestMemoryDirtyTracking(t *testing.T) {
+	m := NewMemory(32, PageSize)
+	buf := make([]byte, PageSize)
+	m.WritePage(1, buf)
+	if m.DirtyCount() != 0 {
+		t.Fatal("dirty recorded before tracking enabled")
+	}
+	m.StartTracking()
+	if !m.Tracking() {
+		t.Fatal("Tracking false")
+	}
+	m.WritePage(2, buf)
+	m.WritePage(3, buf)
+	m.WritePage(2, buf) // rewrite: one bit
+	if m.DirtyCount() != 2 {
+		t.Fatalf("DirtyCount = %d", m.DirtyCount())
+	}
+	d := m.SwapDirty()
+	if d.Count() != 2 || !d.Test(2) || !d.Test(3) {
+		t.Fatal("SwapDirty contents wrong")
+	}
+	if m.DirtyCount() != 0 {
+		t.Fatal("SwapDirty did not clear")
+	}
+	m.StopTracking()
+	m.WritePage(4, buf)
+	if m.DirtyCount() != 0 {
+		t.Fatal("dirty recorded after StopTracking")
+	}
+}
+
+func TestMemoryConcurrentWriters(t *testing.T) {
+	m := NewMemory(128, PageSize)
+	m.StartTracking()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := bytes.Repeat([]byte{byte(w)}, PageSize)
+			for i := 0; i < 128; i++ {
+				if err := m.WritePage(i, buf); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.DirtyCount() != 128 {
+		t.Fatalf("DirtyCount = %d", m.DirtyCount())
+	}
+	if m.Writes() != 8*128 {
+		t.Fatalf("Writes = %d", m.Writes())
+	}
+}
+
+func TestCPUState(t *testing.T) {
+	c := NewCPUState(512)
+	if len(c.Registers) != 512 {
+		t.Fatal("size wrong")
+	}
+	cl := c.Clone()
+	if !c.Equal(cl) {
+		t.Fatal("clone not equal")
+	}
+	cl.Registers[0] ^= 0xFF
+	if c.Equal(cl) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestVMLifecycle(t *testing.T) {
+	v := New("guest", 1, 64, 256)
+	if v.State() != Running {
+		t.Fatal("new VM not running")
+	}
+	if err := v.Resume(); err == nil {
+		t.Fatal("resume of running VM accepted")
+	}
+	if err := v.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if v.State() != Suspended {
+		t.Fatal("not suspended")
+	}
+	if err := v.Suspend(); err == nil {
+		t.Fatal("double suspend accepted")
+	}
+	if err := v.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	v.Stop()
+	if v.State() != Stopped {
+		t.Fatal("not stopped")
+	}
+	if Running.String() != "running" || Suspended.String() != "suspended" ||
+		Stopped.String() != "stopped" || State(9).String() == "" {
+		t.Fatal("State.String wrong")
+	}
+}
+
+func TestVMCPURoundTrip(t *testing.T) {
+	v := New("guest", 1, 64, 128)
+	orig := v.CPU()
+	// mutating the returned copy must not affect the VM
+	orig.Registers[0] ^= 0xFF
+	if v.CPU().Equal(orig) {
+		t.Fatal("CPU() exposes internal state")
+	}
+	v.SetCPU(orig)
+	if !v.CPU().Equal(orig) {
+		t.Fatal("SetCPU lost state")
+	}
+}
+
+func TestNewDestinationShell(t *testing.T) {
+	src := New("guest", 5, 64, 128)
+	buf := bytes.Repeat([]byte{1}, PageSize)
+	src.Memory().WritePage(0, buf)
+	dst := NewDestination(src)
+	if dst.State() != Suspended {
+		t.Fatal("destination shell not suspended")
+	}
+	if dst.Name != "guest" || dst.DomainID != 5 {
+		t.Fatal("identity not copied")
+	}
+	if dst.Memory().NumPages() != 64 {
+		t.Fatal("geometry not copied")
+	}
+	if dst.Memory().AllocatedPages() != 0 {
+		t.Fatal("destination memory not empty")
+	}
+}
+
+// TestQuickMemoryMatchesMap property-tests Memory against a map oracle and
+// verifies the dirty bitmap records exactly the written pages.
+func TestQuickMemoryMatchesMap(t *testing.T) {
+	f := func(writes []uint16) bool {
+		const n = 200
+		m := NewMemory(n, PageSize)
+		m.StartTracking()
+		ref := make(map[int]byte)
+		buf := make([]byte, PageSize)
+		for i, w := range writes {
+			page := int(w) % n
+			fill := byte(i)
+			for j := range buf {
+				buf[j] = fill
+			}
+			if err := m.WritePage(page, buf); err != nil {
+				return false
+			}
+			ref[page] = fill
+		}
+		got := make([]byte, PageSize)
+		for page, fill := range ref {
+			if err := m.ReadPage(page, got); err != nil {
+				return false
+			}
+			for _, b := range got {
+				if b != fill {
+					return false
+				}
+			}
+		}
+		return m.DirtyCount() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

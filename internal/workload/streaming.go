@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"bbmig/internal/blockdev"
+)
+
+// Streaming models the paper's low-latency server: a Samba share serving a
+// video file to a client at under 500 kb/s — continuous sequential reads —
+// plus occasional sequential log appends ("only a few writes for logs"). The
+// paper observed 610 blocks dirtied during the first pre-copy iteration
+// (~796 s), i.e. ~0.77 unique blocks/s, dominated by the log appends.
+type Streaming struct {
+	// NumBlocks is the disk size in blocks.
+	NumBlocks int
+	// VideoStart and VideoBlocks bound the streamed file (210 MB in the
+	// paper).
+	VideoStart, VideoBlocks int
+	// ReadInterval is the gap between single-block stream reads; 65 ms
+	// corresponds to ~500 kb/s.
+	ReadInterval time.Duration
+	// LogStart bounds the log region; appends walk forward from it.
+	LogStart int
+	// LogInterval is the mean gap between log appends.
+	LogInterval time.Duration
+	// TailRewriteProb is the probability an append lands in the current
+	// tail block again (a partially filled block receiving more records)
+	// rather than advancing to a fresh block.
+	TailRewriteProb float64
+
+	seed   int64
+	rng    *rand.Rand
+	m      merge2
+	rTime  time.Duration
+	rPos   int
+	wTime  time.Duration
+	logPos int
+}
+
+// NewStreaming returns a Streaming generator with paper-calibrated defaults.
+func NewStreaming(numBlocks int, seed int64) *Streaming {
+	videoBlocks := 210 * 1024 * 1024 / blockdev.BlockSize // the 210MB .rmvb
+	if videoBlocks > numBlocks/2 {
+		videoBlocks = numBlocks / 2
+	}
+	s := &Streaming{
+		NumBlocks:       numBlocks,
+		VideoStart:      numBlocks / 8,
+		VideoBlocks:     videoBlocks,
+		ReadInterval:    65 * time.Millisecond,
+		LogStart:        numBlocks - numBlocks/16,
+		LogInterval:     1300 * time.Millisecond,
+		TailRewriteProb: 0.15,
+		seed:            seed,
+	}
+	s.Reset()
+	return s
+}
+
+// Name implements Generator.
+func (s *Streaming) Name() string { return Stream.String() }
+
+// Reset implements Generator.
+func (s *Streaming) Reset() {
+	s.rng = rand.New(rand.NewSource(s.seed))
+	s.rTime, s.wTime = 0, 0
+	s.rPos, s.logPos = 0, 0
+	s.m = merge2{a: s.nextRead, b: s.nextWrite}
+	s.m.reset()
+}
+
+// Next implements Generator.
+func (s *Streaming) Next() Access { return s.m.next() }
+
+func (s *Streaming) nextRead() Access {
+	s.rTime += s.ReadInterval
+	blk := s.VideoStart + s.rPos%s.VideoBlocks
+	s.rPos++ // the player loops the file
+	return Access{At: s.rTime, Op: blockdev.Read, Block: blk, Count: 1}
+}
+
+func (s *Streaming) nextWrite() Access {
+	s.wTime += expo(s.rng, s.LogInterval)
+	if s.rng.Float64() >= s.TailRewriteProb {
+		s.logPos++
+	}
+	span := s.NumBlocks - s.LogStart
+	blk := s.LogStart + s.logPos%span
+	return Access{At: s.wTime, Op: blockdev.Write, Block: blk, Count: 1}
+}
