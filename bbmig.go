@@ -18,6 +18,28 @@
 // first. Passing a bitmap from a previous migration's destination gate as
 // the `initial` argument performs Incremental Migration back (§V).
 //
+// # Parallel transfer
+//
+// The paper ships every dirty block as its own frame over one ordered
+// connection; three Config knobs lift that limit while defaulting to the
+// paper's exact behavior:
+//
+//   - Config.MaxExtentBlocks coalesces runs of contiguous dirty blocks into
+//     single MsgExtent frames (Arg packs start and count, payload carries
+//     the concatenated blocks), amortizing per-frame header and flush cost.
+//   - Config.Workers pipelines read→compress→send on the source and
+//     scatter-applies received frames on the destination. Parallelism stays
+//     within one pre-copy iteration — each block/page number appears at most
+//     once per iteration — and iteration boundaries drain the pools.
+//   - Config.Streams stripes data frames round-robin across N connections
+//     (DialStriped/AcceptStriped/NewStriped). Control frames are pinned to
+//     stream 0 behind a broadcast barrier, so SUSPEND/RESUME/ITER_END keep
+//     their ordering against data on other streams.
+//
+// The default (1 stream, extent size 1, 1 worker) is wire-compatible with
+// the seed protocol; any other setting requires both endpoints to agree on
+// the stream count, exactly as with compression.
+//
 // Subpackages (internal/...) hold the substrates: bitmap, blockdev, blkback,
 // transport, vm, workload, metrics, and the paper-scale simulator sim. The
 // examples/ directory shows complete wirings; cmd/bbmig is a runnable
@@ -77,3 +99,14 @@ var Accept = transport.Accept
 // NewPipe returns two connected in-process transports, for tests and
 // single-process demonstrations.
 var NewPipe = transport.NewPipe
+
+// NewStriped bundles several transports into one multi-stream connection;
+// pair with Config.Streams, MaxExtentBlocks, and Workers for parallel
+// transfer.
+var NewStriped = transport.NewStriped
+
+// DialStriped opens a Config.Streams-wide striped bundle to a destination.
+var DialStriped = transport.DialStriped
+
+// AcceptStriped accepts a striped bundle opened by DialStriped.
+var AcceptStriped = transport.AcceptStriped

@@ -19,6 +19,15 @@
 // A single-process demonstration over a loopback TCP connection:
 //
 //	bbmig -mode demo
+//
+// Parallel transfer: -streams N opens N TCP connections and stripes block
+// data across them, -extent-blocks M coalesces up to M contiguous blocks
+// per frame, and -workers W pipelines device reads and sends. Both ends
+// must pass the same -streams value (like -compress); the defaults keep
+// the single-connection per-block wire format:
+//
+//	bbmig -mode recv -listen :7011 -image guest.img -streams 4
+//	bbmig -mode send -addr dst:7011 -image guest.img -streams 4 -extent-blocks 64 -workers 4
 package main
 
 import (
@@ -51,19 +60,23 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		speedup   = flag.Float64("speedup", 1, "workload time compression factor")
 		compress  = flag.Bool("compress", false, "DEFLATE-compress the migration stream (both ends must agree)")
+		streams   = flag.Int("streams", 1, "parallel transport connections (both ends must agree)")
+		extentBlk = flag.Int("extent-blocks", 1, "send: max contiguous blocks coalesced per frame")
+		workers   = flag.Int("workers", 1, "send: read/send pipeline workers; recv: scatter-write workers")
 		initialBM = flag.String("initial-bitmap", "", "send: bitmap file selecting blocks for an incremental migration")
 		freshBM   = flag.String("fresh-bitmap", "", "recv: file to save the fresh-write bitmap to (enables a later IM back)")
 	)
 	flag.Parse()
 
+	opts := xferOpts{streams: *streams, extentBlocks: *extentBlk, workers: *workers, compress: *compress}
 	var err error
 	switch *mode {
 	case "send":
-		err = runSend(*addr, *image, *sizeMB, *memMB, *wl, *limitMbps, *seed, *speedup, *compress, *initialBM)
+		err = runSend(*addr, *image, *sizeMB, *memMB, *wl, *limitMbps, *seed, *speedup, opts, *initialBM)
 	case "recv":
-		err = runRecv(*listen, *image, *sizeMB, *memMB, *compress, *freshBM)
+		err = runRecv(*listen, *image, *sizeMB, *memMB, opts, *freshBM)
 	case "demo":
-		err = runDemo(*sizeMB, *memMB, *wl, *seed)
+		err = runDemo(*sizeMB, *memMB, *wl, *seed, opts)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -97,6 +110,14 @@ func openOrCreate(path string, sizeMB int) (*blockdev.FileDisk, error) {
 	return blockdev.CreateFileDisk(path, blocks, blockdev.BlockSize)
 }
 
+// xferOpts bundles the transfer-shape knobs shared by both endpoints.
+type xferOpts struct {
+	streams      int
+	extentBlocks int
+	workers      int
+	compress     bool
+}
+
 // wrapCompress symmetrically wraps conn when requested.
 func wrapCompress(conn transport.Conn, on bool) (transport.Conn, error) {
 	if !on {
@@ -105,7 +126,36 @@ func wrapCompress(conn transport.Conn, on bool) (transport.Conn, error) {
 	return transport.NewCompressed(conn, 0)
 }
 
-func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, seed int64, speedup float64, compress bool, initialBMPath string) error {
+// dialConn opens the migration transport: a single connection, or a striped
+// bundle of o.streams connections with each stream compressed independently.
+func dialConn(addr string, o xferOpts) (transport.Conn, error) {
+	if o.streams <= 1 {
+		c, err := transport.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return wrapCompress(c, o.compress)
+	}
+	return transport.DialStriped(addr, o.streams, func(c transport.Conn) (transport.Conn, error) {
+		return wrapCompress(c, o.compress)
+	})
+}
+
+// acceptConn mirrors dialConn on the listening side.
+func acceptConn(l net.Listener, o xferOpts) (transport.Conn, error) {
+	if o.streams <= 1 {
+		c, err := transport.Accept(l)
+		if err != nil {
+			return nil, err
+		}
+		return wrapCompress(c, o.compress)
+	}
+	return transport.AcceptStriped(l, func(c transport.Conn) (transport.Conn, error) {
+		return wrapCompress(c, o.compress)
+	})
+}
+
+func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, seed int64, speedup float64, opts xferOpts, initialBMPath string) error {
 	if addr == "" || image == "" {
 		return fmt.Errorf("send mode needs -addr and -image")
 	}
@@ -132,15 +182,11 @@ func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, se
 		done <- nil
 	}
 
-	rawConn, err := transport.Dial(addr)
+	conn, err := dialConn(addr, opts)
 	if err != nil {
 		return err
 	}
-	defer rawConn.Close()
-	conn, err := wrapCompress(rawConn, compress)
-	if err != nil {
-		return err
-	}
+	defer conn.Close()
 	var initial *bitmap.Bitmap
 	if initialBMPath != "" {
 		initial, err = bitmap.LoadFile(initialBMPath)
@@ -154,7 +200,12 @@ func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, se
 		initial = backend.SwapDirty()
 		fmt.Printf("incremental migration: %d blocks to send\n", initial.Count())
 	}
-	cfg := core.Config{OnFreeze: router.Freeze}
+	cfg := core.Config{
+		OnFreeze:        router.Freeze,
+		Streams:         opts.streams,
+		MaxExtentBlocks: opts.extentBlocks,
+		Workers:         opts.workers,
+	}
 	if limitMbps > 0 {
 		cfg.BandwidthLimit = int64(limitMbps) * 1e6 / 8
 	}
@@ -176,7 +227,7 @@ func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, se
 	return nil
 }
 
-func runRecv(listenAddr, image string, sizeMB, memMB int, compress bool, freshBMPath string) error {
+func runRecv(listenAddr, image string, sizeMB, memMB int, opts xferOpts, freshBMPath string) error {
 	if image == "" {
 		return fmt.Errorf("recv mode needs -image")
 	}
@@ -185,22 +236,18 @@ func runRecv(listenAddr, image string, sizeMB, memMB int, compress bool, freshBM
 		return err
 	}
 	defer l.Close()
-	return recvServe(l, image, sizeMB, memMB, compress, freshBMPath)
+	return recvServe(l, image, sizeMB, memMB, opts, freshBMPath)
 }
 
 // recvServe accepts one migration on an already-bound listener; split from
 // runRecv so tests (and the demo) can bind the port themselves.
-func recvServe(l net.Listener, image string, sizeMB, memMB int, compress bool, freshBMPath string) error {
+func recvServe(l net.Listener, image string, sizeMB, memMB int, opts xferOpts, freshBMPath string) error {
 	fmt.Printf("waiting for migration on %s...\n", l.Addr())
-	rawConn, err := transport.Accept(l)
+	conn, err := acceptConn(l, opts)
 	if err != nil {
 		return err
 	}
-	defer rawConn.Close()
-	conn, err := wrapCompress(rawConn, compress)
-	if err != nil {
-		return err
-	}
+	defer conn.Close()
 
 	disk, err := openOrCreate(image, sizeMB)
 	if err != nil {
@@ -211,9 +258,13 @@ func recvServe(l net.Listener, image string, sizeMB, memMB int, compress bool, f
 	shell.Suspend() // destination shells are born frozen
 	backend := blkback.NewBackend(disk, shell.DomainID)
 
-	cfg := core.Config{OnResume: func(g *blkback.PostCopyGate) {
-		fmt.Println("VM resumed here; post-copy synchronization running")
-	}}
+	cfg := core.Config{
+		Streams: opts.streams,
+		Workers: opts.workers,
+		OnResume: func(g *blkback.PostCopyGate) {
+			fmt.Println("VM resumed here; post-copy synchronization running")
+		},
+	}
 	res, err := core.MigrateDest(cfg, core.Host{VM: shell, Backend: backend}, conn)
 	if err != nil {
 		return err
@@ -238,7 +289,7 @@ func recvServe(l net.Listener, image string, sizeMB, memMB int, compress bool, f
 
 // runDemo migrates a synthetic VM over loopback TCP inside one process: the
 // receiver binds an ephemeral port and the sender dials it.
-func runDemo(sizeMB, memMB int, wl string, seed int64) error {
+func runDemo(sizeMB, memMB int, wl string, seed int64, opts xferOpts) error {
 	dir, err := os.MkdirTemp("", "bbmig-demo")
 	if err != nil {
 		return err
@@ -254,7 +305,7 @@ func runDemo(sizeMB, memMB int, wl string, seed int64) error {
 	defer l.Close()
 	errCh := make(chan error, 1)
 	go func() {
-		conn, err := transport.Accept(l)
+		conn, err := acceptConn(l, opts)
 		if err != nil {
 			errCh <- err
 			return
@@ -269,7 +320,8 @@ func runDemo(sizeMB, memMB int, wl string, seed int64) error {
 		shell := vm.New("guest", 1, memMB<<20/vm.PageSize, 0)
 		shell.Suspend()
 		backend := blkback.NewBackend(disk, shell.DomainID)
-		res, err := core.MigrateDest(core.Config{}, core.Host{VM: shell, Backend: backend}, conn)
+		cfg := core.Config{Streams: opts.streams, Workers: opts.workers}
+		res, err := core.MigrateDest(cfg, core.Host{VM: shell, Backend: backend}, conn)
 		if err == nil {
 			fmt.Printf("demo receiver: synchronized; %d blocks pulled, fresh bitmap %d blocks\n",
 				res.Report.BlocksPulled, res.Gate.FreshBitmap().Count())
@@ -280,7 +332,7 @@ func runDemo(sizeMB, memMB int, wl string, seed int64) error {
 	if wl == "" || wl == "none" {
 		wl = "web"
 	}
-	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, wl, 0, seed, 50, false, ""); err != nil {
+	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, wl, 0, seed, 50, opts, ""); err != nil {
 		return err
 	}
 	if err := <-errCh; err != nil {

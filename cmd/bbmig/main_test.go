@@ -135,8 +135,8 @@ func TestSendRecvRoundTripWithIM(t *testing.T) {
 	}
 	defer l.Close()
 	recvDone := make(chan error, 1)
-	go func() { recvDone <- recvServe(l, dstImg, sizeMB, memMB, true, bmPath) }()
-	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, true, ""); err != nil {
+	go func() { recvDone <- recvServe(l, dstImg, sizeMB, memMB, xferOpts{compress: true}, bmPath) }()
+	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, xferOpts{compress: true}, ""); err != nil {
 		t.Fatalf("send: %v", err)
 	}
 	if err := <-recvDone; err != nil {
@@ -177,8 +177,8 @@ func TestSendRecvRoundTripWithIM(t *testing.T) {
 	}
 	defer l2.Close()
 	recvDone2 := make(chan error, 1)
-	go func() { recvDone2 <- recvServe(l2, srcImg, sizeMB, memMB, false, "") }()
-	if err := runSend(l2.Addr().String(), dstImg, sizeMB, memMB, "none", 0, 1, 1, false, bmPath); err != nil {
+	go func() { recvDone2 <- recvServe(l2, srcImg, sizeMB, memMB, xferOpts{}, "") }()
+	if err := runSend(l2.Addr().String(), dstImg, sizeMB, memMB, "none", 0, 1, 1, xferOpts{}, bmPath); err != nil {
 		t.Fatalf("IM send: %v", err)
 	}
 	if err := <-recvDone2; err != nil {
@@ -192,13 +192,57 @@ func TestSendRecvRoundTripWithIM(t *testing.T) {
 
 // TestRunSendValidation covers the argument checks.
 func TestRunSendValidation(t *testing.T) {
-	if err := runSend("", "", 1, 1, "none", 0, 1, 1, false, ""); err == nil {
+	if err := runSend("", "", 1, 1, "none", 0, 1, 1, xferOpts{}, ""); err == nil {
 		t.Fatal("missing args accepted")
 	}
-	if err := runRecv(":0", "", 1, 1, false, ""); err == nil {
+	if err := runRecv(":0", "", 1, 1, xferOpts{}, ""); err == nil {
 		t.Fatal("recv without image accepted")
 	}
-	if !strings.Contains(runSend("", "", 1, 1, "none", 0, 1, 1, false, "").Error(), "-addr") {
+	if !strings.Contains(runSend("", "", 1, 1, "none", 0, 1, 1, xferOpts{}, "").Error(), "-addr") {
 		t.Fatal("unhelpful error")
+	}
+}
+
+// TestStripedCompressedMigration runs a full send/recv over loopback TCP
+// with 4 striped streams, per-stream compression, extent coalescing, and
+// worker pools, then verifies the images match.
+func TestStripedCompressedMigration(t *testing.T) {
+	dir := t.TempDir()
+	srcImg := filepath.Join(dir, "src.img")
+	dstImg := filepath.Join(dir, "dst.img")
+	const sizeMB, memMB = 4, 1
+
+	// Pre-populate the source with recognizable content.
+	d, err := openOrCreate(srcImg, sizeMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	for n := 0; n < d.NumBlocks(); n += 2 {
+		workload.FillBlock(buf, n, 3)
+		d.WriteBlock(n, buf)
+	}
+	d.Close()
+
+	opts := xferOpts{streams: 4, extentBlocks: 16, workers: 3, compress: true}
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recvDone := make(chan error, 1)
+	go func() { recvDone <- recvServe(l, dstImg, sizeMB, memMB, opts, "") }()
+	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, opts, ""); err != nil {
+		t.Fatalf("striped send: %v", err)
+	}
+	if err := <-recvDone; err != nil {
+		t.Fatalf("striped recv: %v", err)
+	}
+	same, err := imagesEqual(srcImg, dstImg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("images differ after striped compressed migration")
 	}
 }

@@ -1,0 +1,2 @@
+module bbmig
+go 1.23

@@ -1,0 +1,204 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collectExtents runs ForEachExtent and returns the visited extents.
+func collectExtents(b *Bitmap, max int) []Extent {
+	var out []Extent
+	b.ForEachExtent(max, func(e Extent) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// checkExtentProperties asserts the extent iteration invariants against the
+// ground truth of ForEachSet: the extents visit exactly the set bits, in
+// ascending order, never exceeding max, and never spanning a clear bit.
+func checkExtentProperties(t *testing.T, b *Bitmap, max int) {
+	t.Helper()
+	var fromSets []int
+	b.ForEachSet(func(i int) bool { fromSets = append(fromSets, i); return true })
+
+	var fromExtents []int
+	prevEnd := -1
+	for _, e := range collectExtents(b, max) {
+		if e.Count < 1 {
+			t.Fatalf("max=%d: empty extent %v", max, e)
+		}
+		if max > 0 && e.Count > max {
+			t.Fatalf("max=%d: extent %v exceeds max", max, e)
+		}
+		if e.Start < prevEnd {
+			t.Fatalf("max=%d: extent %v out of order (prev end %d)", max, e, prevEnd)
+		}
+		prevEnd = e.End()
+		for i := e.Start; i < e.End(); i++ {
+			if !b.Test(i) {
+				t.Fatalf("max=%d: extent %v covers clear bit %d", max, e, i)
+			}
+			fromExtents = append(fromExtents, i)
+		}
+	}
+	if len(fromExtents) != len(fromSets) {
+		t.Fatalf("max=%d: extents visit %d bits, ForEachSet %d", max, len(fromExtents), len(fromSets))
+	}
+	for i := range fromSets {
+		if fromExtents[i] != fromSets[i] {
+			t.Fatalf("max=%d: bit %d visited as %d, want %d", max, i, fromExtents[i], fromSets[i])
+		}
+	}
+}
+
+func TestExtentsKnownPatterns(t *testing.T) {
+	b := New(300)
+	for _, i := range []int{0, 1, 2, 63, 64, 65, 130, 299} {
+		b.Set(i)
+	}
+	got := collectExtents(b, 0)
+	want := []Extent{{0, 3}, {63, 3}, {130, 1}, {299, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("extents %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("extent %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Splitting: the run of 3 at 63 becomes [63,2)+[65,1) under max=2.
+	got = collectExtents(b, 2)
+	want = []Extent{{0, 2}, {2, 1}, {63, 2}, {65, 1}, {130, 1}, {299, 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("max=2 extent %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestExtentsEdgeCases(t *testing.T) {
+	if got := collectExtents(New(0), 4); len(got) != 0 {
+		t.Fatalf("empty bitmap yielded %v", got)
+	}
+	if got := collectExtents(New(100), 4); len(got) != 0 {
+		t.Fatalf("all-clear bitmap yielded %v", got)
+	}
+	full := NewAllSet(130)
+	checkExtentProperties(t, full, 0)
+	checkExtentProperties(t, full, 1)
+	checkExtentProperties(t, full, 64)
+	if got := collectExtents(full, 0); len(got) != 1 || got[0] != (Extent{0, 130}) {
+		t.Fatalf("all-set unsplit extents = %v", got)
+	}
+	// Early stop.
+	n := 0
+	full.ForEachExtent(7, func(Extent) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d extents", n)
+	}
+}
+
+func TestExtentsRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		size := 1 + rng.Intn(1000)
+		b := New(size)
+		// Mix single bits and runs so word boundaries get crossed often.
+		for k := rng.Intn(30); k > 0; k-- {
+			if rng.Intn(2) == 0 {
+				b.Set(rng.Intn(size))
+			} else {
+				lo := rng.Intn(size)
+				hi := lo + 1 + rng.Intn(size-lo)
+				b.SetRange(lo, hi)
+			}
+		}
+		for _, max := range []int{0, 1, 2, 3, 63, 64, 65, size + 10} {
+			checkExtentProperties(t, b, max)
+		}
+	}
+}
+
+func TestNextClear(t *testing.T) {
+	b := New(200)
+	b.SetRange(0, 200)
+	if got := b.nextClear(0); got != 200 {
+		t.Fatalf("nextClear on all-set = %d, want 200", got)
+	}
+	b.Clear(77)
+	if got := b.nextClear(0); got != 77 {
+		t.Fatalf("nextClear = %d, want 77", got)
+	}
+	if got := b.nextClear(78); got != 200 {
+		t.Fatalf("nextClear(78) = %d, want 200", got)
+	}
+	// Tail handling: the final partial word's unused bits must not read as
+	// set or clear positions beyond Len.
+	c := NewAllSet(70)
+	if got := c.nextClear(0); got != 70 {
+		t.Fatalf("nextClear beyond tail = %d, want 70", got)
+	}
+}
+
+func TestNextExtent(t *testing.T) {
+	b := New(100)
+	b.SetRange(10, 20)
+	b.Set(50)
+	if got := b.NextExtent(0, 0); got != (Extent{10, 10}) {
+		t.Fatalf("NextExtent = %v", got)
+	}
+	if got := b.NextExtent(0, 4); got != (Extent{10, 4}) {
+		t.Fatalf("clipped NextExtent = %v", got)
+	}
+	if got := b.NextExtent(21, 0); got != (Extent{50, 1}) {
+		t.Fatalf("NextExtent after run = %v", got)
+	}
+	if got := b.NextExtent(51, 0); got.Count != 0 {
+		t.Fatalf("NextExtent past last = %v", got)
+	}
+}
+
+func TestClearRange(t *testing.T) {
+	b := NewAllSet(300)
+	b.ClearRange(10, 200)
+	for i := 0; i < 300; i++ {
+		want := i < 10 || i >= 200
+		if b.Test(i) != want {
+			t.Fatalf("bit %d = %v after ClearRange", i, b.Test(i))
+		}
+	}
+	b.ClearRange(0, 0) // empty range is a no-op
+	if b.Count() != 10+100 {
+		t.Fatalf("count %d", b.Count())
+	}
+}
+
+// FuzzExtents feeds arbitrary bitmap contents and max values through the
+// extent iterator and checks the coverage invariants.
+func FuzzExtents(f *testing.F) {
+	f.Add([]byte{0xFF, 0x00, 0xAA}, 3, uint8(4))
+	f.Add([]byte{}, 1, uint8(1))
+	f.Add([]byte{0x01}, 8, uint8(0))
+	f.Fuzz(func(t *testing.T, words []byte, extra int, max uint8) {
+		size := len(words)*8 + abs(extra)%9
+		if size > 1<<16 {
+			size = 1 << 16
+		}
+		b := New(size)
+		for i := 0; i < size; i++ {
+			if i/8 < len(words) && words[i/8]&(1<<(i%8)) != 0 {
+				b.Set(i)
+			}
+		}
+		checkExtentProperties(t, b, int(max))
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

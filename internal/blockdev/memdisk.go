@@ -7,15 +7,26 @@ import (
 	"bbmig/internal/bitmap"
 )
 
+// memDiskShards is the lock-striping width: block state is spread over this
+// many independently locked shards so the parallel migration pipeline's
+// scatter writers and the guest workload don't serialize on one mutex. 16
+// shards keeps per-disk overhead trivial while letting a worker pool scale.
+const memDiskShards = 16
+
 // MemDisk is a RAM-backed Device. Blocks are allocated lazily, so a "40 GB"
 // MemDisk that is mostly zeros costs memory proportional to its written
 // footprint only — this is what lets integration tests and the simulator
-// instantiate paper-scale VBDs.
+// instantiate paper-scale VBDs. Block state is sharded by block number, so
+// concurrent readers and writers of different blocks proceed in parallel.
 type MemDisk struct {
-	mu        sync.RWMutex
-	blocks    map[int][]byte // only blocks that were ever written
+	shards    [memDiskShards]memDiskShard
 	blockSize int
 	numBlocks int
+}
+
+type memDiskShard struct {
+	mu     sync.RWMutex
+	blocks map[int][]byte // only blocks that were ever written
 }
 
 // NewMemDisk returns a zero-filled MemDisk with numBlocks blocks of
@@ -24,12 +35,17 @@ func NewMemDisk(numBlocks, blockSize int) *MemDisk {
 	if numBlocks < 0 || blockSize <= 0 {
 		panic(fmt.Sprintf("blockdev: bad geometry %dx%d", numBlocks, blockSize))
 	}
-	return &MemDisk{
-		blocks:    make(map[int][]byte),
+	m := &MemDisk{
 		blockSize: blockSize,
 		numBlocks: numBlocks,
 	}
+	for i := range m.shards {
+		m.shards[i].blocks = make(map[int][]byte)
+	}
+	return m
 }
+
+func (m *MemDisk) shard(n int) *memDiskShard { return &m.shards[n%memDiskShards] }
 
 // BlockSize implements Device.
 func (m *MemDisk) BlockSize() int { return m.blockSize }
@@ -45,15 +61,16 @@ func (m *MemDisk) ReadBlock(n int, dst []byte) error {
 	if len(dst) < m.blockSize {
 		return fmt.Errorf("blockdev: read buffer %d < block size %d", len(dst), m.blockSize)
 	}
-	m.mu.RLock()
-	blk := m.blocks[n]
+	s := m.shard(n)
+	s.mu.RLock()
+	blk := s.blocks[n]
 	if blk == nil {
-		m.mu.RUnlock()
+		s.mu.RUnlock()
 		clear(dst[:m.blockSize])
 		return nil
 	}
 	copy(dst, blk)
-	m.mu.RUnlock()
+	s.mu.RUnlock()
 	return nil
 }
 
@@ -65,34 +82,43 @@ func (m *MemDisk) WriteBlock(n int, src []byte) error {
 	if len(src) < m.blockSize {
 		return fmt.Errorf("blockdev: write buffer %d < block size %d", len(src), m.blockSize)
 	}
-	m.mu.Lock()
-	blk := m.blocks[n]
+	s := m.shard(n)
+	s.mu.Lock()
+	blk := s.blocks[n]
 	if blk == nil {
 		blk = make([]byte, m.blockSize)
-		m.blocks[n] = blk
+		s.blocks[n] = blk
 	}
 	copy(blk, src)
-	m.mu.Unlock()
+	s.mu.Unlock()
 	return nil
 }
 
 // WrittenBlocks returns how many blocks have ever been written (the
 // allocation footprint).
 func (m *MemDisk) WrittenBlocks() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.blocks)
+	total := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		total += len(s.blocks)
+		s.mu.RUnlock()
+	}
+	return total
 }
 
 // AllocatedBitmap implements Allocator: one set bit per block that has ever
 // been written. Blocks outside the bitmap read as zeros, so a migration may
 // skip them when the destination device is freshly zeroed.
 func (m *MemDisk) AllocatedBitmap() *bitmap.Bitmap {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
 	bm := bitmap.New(m.numBlocks)
-	for n := range m.blocks {
-		bm.Set(n)
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for n := range s.blocks {
+			bm.Set(n)
+		}
+		s.mu.RUnlock()
 	}
 	return bm
 }

@@ -12,6 +12,7 @@ package core
 import (
 	"bbmig/internal/blkback"
 	"bbmig/internal/clock"
+	"bbmig/internal/transport"
 	"bbmig/internal/vm"
 )
 
@@ -29,6 +30,15 @@ const (
 	// DefaultMemDirtyThreshold suspends the VM once the dirty page set is
 	// this small (pages).
 	DefaultMemDirtyThreshold = 64
+	// DefaultStreams is the number of transport connections: one, the
+	// paper's single blkd socket.
+	DefaultStreams = 1
+	// DefaultMaxExtentBlocks is the per-frame block coalescing limit: one,
+	// the paper's block-per-message wire format.
+	DefaultMaxExtentBlocks = 1
+	// DefaultWorkers is the source read/send and destination scatter-write
+	// concurrency: one, the paper's sequential loops.
+	DefaultWorkers = 1
 )
 
 // Config parameterizes a migration.
@@ -49,6 +59,29 @@ type Config struct {
 	// critical transfer would be self-defeating, and the paper limits only
 	// the pre-copy bandwidth.
 	BandwidthLimit int64
+
+	// Streams is the number of transport connections the migration should
+	// fan data frames across. The engine itself migrates over whatever Conn
+	// it is handed; this knob is read by the connection-owning layers
+	// (cmd/bbmig, hostd) to build a transport.Striped of this width, and is
+	// threaded through Config so one struct configures the whole path.
+	// Zero or one selects the paper's single ordered connection.
+	Streams int
+
+	// MaxExtentBlocks caps how many contiguous dirty blocks are coalesced
+	// into one MsgExtent frame. Zero or one reproduces the paper's
+	// block-per-message wire format (and is wire-compatible with it);
+	// larger values amortize the per-frame header and flush cost so
+	// iterations become bandwidth- rather than latency-bound.
+	MaxExtentBlocks int
+
+	// Workers sizes the source-side read→send worker pool and the
+	// destination-side scatter-write pool. Zero or one selects the paper's
+	// sequential loops. Workers only parallelize within one pre-copy
+	// iteration, where every block and page number appears at most once, so
+	// reordering is safe; iteration boundaries remain synchronization
+	// points.
+	Workers int
 
 	// SkipUnused elides never-written blocks from the first pre-copy
 	// iteration when the source device reports its allocation map
@@ -86,6 +119,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BandwidthLimit <= 0 {
 		c.BandwidthLimit = clock.Unlimited
+	}
+	if c.Streams <= 0 {
+		c.Streams = DefaultStreams
+	}
+	if c.Streams > transport.MaxStreams {
+		c.Streams = transport.MaxStreams // stream counts travel in one wire byte
+	}
+	if c.MaxExtentBlocks <= 0 {
+		c.MaxExtentBlocks = DefaultMaxExtentBlocks
+	}
+	if c.MaxExtentBlocks > transport.MaxExtentBlocks {
+		c.MaxExtentBlocks = transport.MaxExtentBlocks
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers
 	}
 	return c
 }

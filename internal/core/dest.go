@@ -45,6 +45,19 @@ type destRun struct {
 	meter *transport.Meter
 }
 
+// checkExtent validates a MsgExtent frame against the prepared VBD.
+func (d *destRun) checkExtent(m transport.Message) (bitmap.Extent, error) {
+	start, count := transport.ExtentSplit(m.Arg)
+	dev := d.host.Backend.Device()
+	if count < 1 || start < 0 || start+count > dev.NumBlocks() {
+		return bitmap.Extent{}, fmt.Errorf("core: extent [%d,+%d) outside %d-block VBD", start, count, dev.NumBlocks())
+	}
+	if want := count * dev.BlockSize(); len(m.Payload) != want {
+		return bitmap.Extent{}, fmt.Errorf("core: extent [%d,+%d) payload %d bytes, want %d", start, count, len(m.Payload), want)
+	}
+	return bitmap.Extent{Start: start, Count: count}, nil
+}
+
 func (d *destRun) run() (*DestResult, error) {
 	dev := d.host.Backend.Device()
 	mem := d.host.VM.Memory()
@@ -81,6 +94,11 @@ func (d *destRun) run() (*DestResult, error) {
 	}
 
 	// --- Pre-copy and freeze-and-copy receive loop. ---
+	// Data frames are handed to the scatter pool; every control frame drains
+	// it first, so iteration boundaries order cross-iteration rewrites
+	// exactly as the sequential loop did.
+	sc := newScatterPool(d.cfg.Workers)
+	defer sc.close()
 	var transferred *bitmap.Bitmap
 receive:
 	for {
@@ -88,17 +106,53 @@ receive:
 		if err != nil {
 			return res, fmt.Errorf("core: pre-copy receive: %w", err)
 		}
+		// Non-data frames are phase boundaries: drain the scatter pool so
+		// everything sent before the boundary is applied before it acts.
+		// (transport.IsDataFrame is the same predicate Striped stripes by.)
+		if !transport.IsDataFrame(m.Type) {
+			if err := sc.drain(); err != nil {
+				return res, err
+			}
+		}
 		switch m.Type {
 		case transport.MsgIterStart, transport.MsgIterEnd,
 			transport.MsgMemIterStart, transport.MsgMemIterEnd, transport.MsgSuspend:
 			// phase markers; nothing to apply
 		case transport.MsgBlockData:
-			if err := dev.WriteBlock(int(m.Arg), m.Payload); err != nil {
-				return res, fmt.Errorf("core: apply block %d: %w", m.Arg, err)
+			n, payload := int(m.Arg), m.Payload
+			if err := sc.do(func() error {
+				if err := dev.WriteBlock(n, payload); err != nil {
+					return fmt.Errorf("core: apply block %d: %w", n, err)
+				}
+				return nil
+			}); err != nil {
+				return res, err
+			}
+		case transport.MsgExtent:
+			ext, err := d.checkExtent(m)
+			if err != nil {
+				return res, err
+			}
+			payload, bs := m.Payload, dev.BlockSize()
+			if err := sc.do(func() error {
+				for k := 0; k < ext.Count; k++ {
+					if err := dev.WriteBlock(ext.Start+k, payload[k*bs:(k+1)*bs]); err != nil {
+						return fmt.Errorf("core: apply block %d: %w", ext.Start+k, err)
+					}
+				}
+				return nil
+			}); err != nil {
+				return res, err
 			}
 		case transport.MsgMemPage:
-			if err := mem.WritePage(int(m.Arg), m.Payload); err != nil {
-				return res, fmt.Errorf("core: apply page %d: %w", m.Arg, err)
+			n, payload := int(m.Arg), m.Payload
+			if err := sc.do(func() error {
+				if err := mem.WritePage(n, payload); err != nil {
+					return fmt.Errorf("core: apply page %d: %w", n, err)
+				}
+				return nil
+			}); err != nil {
+				return res, err
 			}
 		case transport.MsgCPUState:
 			res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
@@ -137,18 +191,49 @@ receive:
 	postStart := clk.Now()
 
 	// Apply pushed/pulled blocks until the source reports push completion.
+	// The scatter pool applies extents concurrently; the gate's internal
+	// locking keeps each ReceiveBlock atomic against the resumed guest's
+	// reads and writes, so the write gate stays correct under concurrency.
 	pushDone := false
-	for !(pushDone && gate.Synchronized()) {
+	for {
+		if pushDone {
+			if err := sc.drain(); err != nil {
+				return res, err
+			}
+			if gate.Synchronized() {
+				break
+			}
+		}
 		m, err := d.conn.Recv()
 		if err != nil {
 			return res, fmt.Errorf("core: post-copy receive: %w", err)
 		}
 		switch m.Type {
 		case transport.MsgBlockData:
-			if err := gate.ReceiveBlock(int(m.Arg), m.Payload); err != nil {
+			n, payload := int(m.Arg), m.Payload
+			if err := sc.do(func() error { return gate.ReceiveBlock(n, payload) }); err != nil {
+				return res, err
+			}
+		case transport.MsgExtent:
+			ext, err := d.checkExtent(m)
+			if err != nil {
+				return res, err
+			}
+			payload, bs := m.Payload, dev.BlockSize()
+			if err := sc.do(func() error {
+				for k := 0; k < ext.Count; k++ {
+					if err := gate.ReceiveBlock(ext.Start+k, payload[k*bs:(k+1)*bs]); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
 				return res, err
 			}
 		case transport.MsgPushDone:
+			if err := sc.drain(); err != nil {
+				return res, err
+			}
 			pushDone = true
 		case transport.MsgError:
 			return res, fmt.Errorf("core: source error: %s", m.Payload)

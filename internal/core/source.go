@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bbmig/internal/bitmap"
@@ -231,28 +233,139 @@ func (s *sourceRun) diskPreCopy(rep *metrics.Report, initial *bitmap.Bitmap) err
 }
 
 // sendBlocks streams every block marked in bm and returns the count and
-// payload wire bytes.
+// payload wire bytes. With Workers or MaxExtentBlocks above one, contiguous
+// dirty runs are coalesced into extents and pipelined through a read→send
+// worker pool; the default configuration takes the sequential per-block path
+// below, which is wire-identical to the seed protocol.
 func (s *sourceRun) sendBlocks(bm *bitmap.Bitmap) (int, int64, error) {
+	if s.cfg.Workers <= 1 && s.cfg.MaxExtentBlocks <= 1 {
+		dev := s.host.Backend.Device()
+		buf := make([]byte, dev.BlockSize())
+		sent := 0
+		var bytes int64
+		var fail error
+		bm.ForEachSet(func(n int) bool {
+			if err := dev.ReadBlock(n, buf); err != nil {
+				fail = err
+				return false
+			}
+			m := transport.Message{Type: transport.MsgBlockData, Arg: uint64(n), Payload: buf}
+			if err := s.send(m, true); err != nil {
+				fail = err
+				return false
+			}
+			sent++
+			bytes += int64(m.FrameSize())
+			return true
+		})
+		return sent, bytes, fail
+	}
+	return s.sendExtents(bm)
+}
+
+// effectiveMaxExtent bounds the configured coalescing limit by what one
+// frame may carry (MaxPayload, minus one byte for the marker a Compressed
+// decorator prepends to incompressible payloads) and what the device holds,
+// so an oversized MaxExtentBlocks can neither demand absurd staging buffers
+// nor produce unencodable frames.
+func effectiveMaxExtent(maxExt int, dev blockdev.Device) int {
+	if limit := (transport.MaxPayload - 1) / dev.BlockSize(); maxExt > limit {
+		maxExt = limit
+	}
+	if n := dev.NumBlocks(); maxExt > n {
+		maxExt = n
+	}
+	if maxExt < 1 {
+		maxExt = 1
+	}
+	return maxExt
+}
+
+// extentMessage frames one extent's data. Single-block extents keep the
+// seed's MsgBlockData form so extent coalescing alone never changes how a
+// lone block looks on the wire.
+func extentMessage(e bitmap.Extent, data []byte) transport.Message {
+	if e.Count == 1 {
+		return transport.Message{Type: transport.MsgBlockData, Arg: uint64(e.Start), Payload: data}
+	}
+	return transport.Message{Type: transport.MsgExtent, Arg: transport.ExtentArg(e.Start, e.Count), Payload: data}
+}
+
+// firstErr latches the first error a worker pool hits.
+type firstErr struct {
+	failed atomic.Bool
+	mu     sync.Mutex
+	err    error
+}
+
+func (f *firstErr) set(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+		f.failed.Store(true)
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// sendExtents fans bm's coalesced extents across cfg.Workers goroutines,
+// each reading an extent from the device and sending it, so device reads,
+// optional compression, and transport writes of different extents overlap.
+// Within one iteration every block number appears at most once, so the
+// destination may apply the extents in any order; the engine's control
+// frames bound the iteration on both sides.
+func (s *sourceRun) sendExtents(bm *bitmap.Bitmap) (int, int64, error) {
 	dev := s.host.Backend.Device()
-	buf := make([]byte, dev.BlockSize())
-	sent := 0
-	var bytes int64
-	var fail error
-	bm.ForEachSet(func(n int) bool {
-		if err := dev.ReadBlock(n, buf); err != nil {
-			fail = err
-			return false
-		}
-		m := transport.Message{Type: transport.MsgBlockData, Arg: uint64(n), Payload: buf}
-		if err := s.send(m, true); err != nil {
-			fail = err
-			return false
-		}
-		sent++
-		bytes += int64(m.FrameSize())
-		return true
+	bs := dev.BlockSize()
+	maxExt := effectiveMaxExtent(s.cfg.MaxExtentBlocks, dev)
+	workers := s.cfg.Workers
+	jobs := make(chan bitmap.Extent, workers*2)
+	var sent, bytes atomic.Int64
+	var fail firstErr
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, maxExt*bs)
+			for ext := range jobs {
+				if fail.failed.Load() {
+					continue // drain the queue so the producer never blocks
+				}
+				data := buf[:ext.Count*bs]
+				readOK := true
+				for k := 0; k < ext.Count; k++ {
+					if err := dev.ReadBlock(ext.Start+k, data[k*bs:(k+1)*bs]); err != nil {
+						fail.set(err)
+						readOK = false
+						break
+					}
+				}
+				if !readOK {
+					continue
+				}
+				m := extentMessage(ext, data)
+				if err := s.send(m, true); err != nil {
+					fail.set(err)
+					continue
+				}
+				sent.Add(int64(ext.Count))
+				bytes.Add(int64(m.FrameSize()))
+			}
+		}()
+	}
+	bm.ForEachExtent(maxExt, func(e bitmap.Extent) bool {
+		jobs <- e
+		return !fail.failed.Load()
 	})
-	return sent, bytes, fail
+	close(jobs)
+	wg.Wait()
+	return int(sent.Load()), bytes.Load(), fail.get()
 }
 
 // memPreCopy runs the Xen-style iterative memory pre-copy: iteration 1 sends
@@ -316,15 +429,22 @@ func (s *sourceRun) sendPages(bm *bitmap.Bitmap, limited bool) (int, int64, erro
 }
 
 // pushBlocks pushes every block of bm to the destination, serving queued
-// pull requests first ("sends the pulled block preferentially").
+// pull requests first ("sends the pulled block preferentially"). Pull
+// replies always travel as single blocks; the background push coalesces the
+// remaining set into extents of up to MaxExtentBlocks.
 func (s *sourceRun) pushBlocks(rep *metrics.Report, bm *bitmap.Bitmap) error {
 	dev := s.host.Backend.Device()
-	buf := make([]byte, dev.BlockSize())
-	sendBlock := func(n int) error {
-		if err := dev.ReadBlock(n, buf); err != nil {
-			return err
+	bs := dev.BlockSize()
+	maxExt := effectiveMaxExtent(s.cfg.MaxExtentBlocks, dev)
+	buf := make([]byte, maxExt*bs)
+	sendExtent := func(e bitmap.Extent) error {
+		data := buf[:e.Count*bs]
+		for k := 0; k < e.Count; k++ {
+			if err := dev.ReadBlock(e.Start+k, data[k*bs:(k+1)*bs]); err != nil {
+				return err
+			}
 		}
-		return s.send(transport.Message{Type: transport.MsgBlockData, Arg: uint64(n), Payload: buf}, false)
+		return s.send(extentMessage(e, data), false)
 	}
 	remaining := bm.Clone()
 	for {
@@ -333,7 +453,7 @@ func (s *sourceRun) pushBlocks(rep *metrics.Report, bm *bitmap.Bitmap) error {
 			select {
 			case n := <-s.pullCh:
 				if remaining.Test(n) { // not yet pushed
-					if err := sendBlock(n); err != nil {
+					if err := sendExtent(bitmap.Extent{Start: n, Count: 1}); err != nil {
 						return err
 					}
 					remaining.Clear(n)
@@ -344,15 +464,15 @@ func (s *sourceRun) pushBlocks(rep *metrics.Report, bm *bitmap.Bitmap) error {
 			}
 			break
 		}
-		n := remaining.NextSet(0)
-		if n < 0 {
+		ext := remaining.NextExtent(0, maxExt)
+		if ext.Count == 0 {
 			break
 		}
-		if err := sendBlock(n); err != nil {
+		if err := sendExtent(ext); err != nil {
 			return err
 		}
-		remaining.Clear(n)
-		rep.BlocksPushed++
+		remaining.ClearRange(ext.Start, ext.End())
+		rep.BlocksPushed += ext.Count
 	}
 	return s.send(transport.Message{Type: transport.MsgPushDone}, false)
 }

@@ -166,13 +166,15 @@ func (m *Machine) CreateDomain(name string, blocks, pages int, kind workload.Kin
 	return d, nil
 }
 
-// announce is the first MsgAnnounce payload: identity and geometry.
+// announce is the first MsgAnnounce payload: identity, geometry, and the
+// transport stream count the sender will open.
 type announce struct {
 	name    string
 	srcHost string
 	geom    transport.Geometry
 	kind    workload.Kind
 	work    bool
+	streams int
 }
 
 func (a announce) marshal() ([]byte, error) {
@@ -187,6 +189,7 @@ func (a announce) marshal() ([]byte, error) {
 	if a.work {
 		out[5] = 1
 	}
+	out[6] = byte(a.streams) // 0 reads as 1: pre-striping senders
 	out = append(out, a.name...)
 	out = append(out, a.srcHost...)
 	out = append(out, gb...)
@@ -202,6 +205,10 @@ func unmarshalAnnounce(data []byte) (announce, error) {
 	srcLen := int(binary.LittleEndian.Uint16(data[2:]))
 	a.kind = workload.Kind(data[4])
 	a.work = data[5] == 1
+	a.streams = int(data[6])
+	if a.streams < 1 {
+		a.streams = 1
+	}
 	const geomLen = 32
 	if len(data) != 8+nameLen+srcLen+geomLen {
 		return a, fmt.Errorf("hostd: announce length %d inconsistent", len(data))
@@ -223,11 +230,17 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 		return nil, fmt.Errorf("hostd: no domain %q on %s", domainName, m.Name)
 	}
 
-	conn, err := transport.Dial(addr)
+	streams := cfg.Streams
+	if streams < 1 {
+		streams = 1
+	}
+	if streams > transport.MaxStreams {
+		streams = transport.MaxStreams // the announce carries the count in one byte
+	}
+	conn0, err := transport.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
 
 	mem := d.vmRef.Memory()
 	ann := announce{
@@ -237,16 +250,30 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 			BlockSize: d.disk.BlockSize(), NumBlocks: d.disk.NumBlocks(),
 			PageSize: mem.PageSize(), NumPages: mem.NumPages(),
 		},
-		kind: d.workKind,
-		work: d.hasWork,
+		kind:    d.workKind,
+		work:    d.hasWork,
+		streams: streams,
 	}
 	ab, err := ann.marshal()
 	if err != nil {
+		conn0.Close()
 		return nil, err
 	}
-	if err := conn.Send(transport.Message{Type: transport.MsgAnnounce, Payload: ab}); err != nil {
+	if err := conn0.Send(transport.Message{Type: transport.MsgAnnounce, Payload: ab}); err != nil {
+		conn0.Close()
 		return nil, err
 	}
+	// The announce names the stream count; dial the extra data streams and
+	// label each so the destination can reassemble the bundle.
+	var conn transport.Conn = conn0
+	if streams > 1 {
+		striped, err := transport.DialExtraStreams(addr, conn0, streams, nil)
+		if err != nil {
+			return nil, fmt.Errorf("hostd: %w", err)
+		}
+		conn = striped
+	}
+	defer conn.Close()
 
 	// Seed incremental migration from the vault's view of the destination;
 	// writes from here to the freeze are tracked by the backend as usual.
@@ -291,17 +318,23 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 }
 
 // ServeOne accepts exactly one inbound migration on l and hosts the received
-// domain afterwards, returning the destination-side result.
+// domain afterwards, returning the destination-side result. When the
+// announce names more than one stream, the sender's extra connections are
+// accepted from l and bundled before the engine runs.
 func (m *Machine) ServeOne(l net.Listener, cfg core.Config) (*core.DestResult, error) {
 	conn, err := transport.Accept(l)
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	return m.receive(conn, cfg)
+	defer func() { conn.Close() }()
+	return m.receive(&conn, l, cfg)
 }
 
-func (m *Machine) receive(conn transport.Conn, cfg core.Config) (*core.DestResult, error) {
+// receive runs the destination side over *connp, upgrading it in place to a
+// striped bundle when the announce asks for one (so the caller's deferred
+// Close tears down every stream).
+func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config) (*core.DestResult, error) {
+	conn := *connp
 	first, err := conn.Recv()
 	if err != nil {
 		return nil, err
@@ -312,6 +345,15 @@ func (m *Machine) receive(conn transport.Conn, cfg core.Config) (*core.DestResul
 	ann, err := unmarshalAnnounce(first.Payload)
 	if err != nil {
 		return nil, err
+	}
+	if ann.streams > 1 {
+		// On failure AcceptExtraStreams already closed conn; the caller's
+		// deferred second Close is harmless.
+		striped, err := transport.AcceptExtraStreams(l, conn, ann.streams, nil)
+		if err != nil {
+			return nil, fmt.Errorf("hostd: %w", err)
+		}
+		conn, *connp = striped, striped
 	}
 
 	m.mu.Lock()

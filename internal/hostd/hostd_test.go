@@ -48,6 +48,7 @@ func TestAnnounceRoundTrip(t *testing.T) {
 		geom:    transport.Geometry{BlockSize: 4096, NumBlocks: 100, PageSize: 4096, NumPages: 50},
 		kind:    workload.Diabolic,
 		work:    true,
+		streams: 3,
 	}
 	data, err := a.marshal()
 	if err != nil {
@@ -250,4 +251,63 @@ func TestHostdMigrationFailureKeepsGuest(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.StopWorkload()
+}
+
+// TestHostdStripedHop migrates a domain daemon-to-daemon with a multi-stream
+// transfer (announce-driven extra accepts, striped engine + vault hand-off)
+// and verifies the received disk matches the source's frozen state.
+func TestHostdStripedHop(t *testing.T) {
+	A, B := NewMachine("A"), NewMachine("B")
+	d, err := A.CreateDomain("guest", tBlocks, tPages, workload.Web, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := blockdev.NewMemDisk(tBlocks, blockdev.BlockSize)
+	buf := make([]byte, blockdev.BlockSize)
+	for i := 0; i < 600; i++ {
+		workload.FillBlock(buf, i, 5)
+		if err := d.Submit(blockdev.Request{Op: blockdev.Write, Block: i, Domain: d.VM().DomainID, Data: buf}); err != nil {
+			t.Fatal(err)
+		}
+		shadow.WriteBlock(i, buf)
+	}
+
+	cfg := core.Config{Streams: 4, MaxExtentBlocks: 32, Workers: 3}
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := B.ServeOne(l, cfg)
+		resCh <- err
+	}()
+	rep, err := A.MigrateOut("guest", "B", l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatalf("striped migrate out: %v", err)
+	}
+	if err := <-resCh; err != nil {
+		t.Fatalf("striped serve: %v", err)
+	}
+	if rep.DiskIterations[0].Units != tBlocks {
+		t.Fatalf("sent %d blocks, want full disk", rep.DiskIterations[0].Units)
+	}
+	dom, ok := B.Domain("guest")
+	if !ok {
+		t.Fatal("guest not hosted on B")
+	}
+	diffs, err := blockdev.Diff(dom.Disk(), shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("striped hop corrupted %d blocks", len(diffs))
+	}
+	if dom.Vault() == nil {
+		t.Fatal("vault not shipped over striped bundle")
+	}
+	if got := dom.VM().State(); got != vm.Running {
+		t.Fatalf("received VM state %v", got)
+	}
 }

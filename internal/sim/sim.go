@@ -52,6 +52,22 @@ type Params struct {
 	// 0 means unlimited.
 	RateLimit float64
 
+	// Streams is the number of striped transport connections the transfer
+	// path fans frames across; zero or one models the paper's single blkd
+	// socket.
+	Streams int
+	// MaxExtentBlocks is the per-frame block coalescing limit; zero or one
+	// models the paper's block-per-message format. Larger extents amortize
+	// the per-frame header and the FrameLatency stall.
+	MaxExtentBlocks int
+	// FrameLatency is the per-frame serialization stall of the transfer
+	// path (per-message flush and handling). It is amortized across the
+	// frame's payload and divided by Streams (frames on different streams
+	// overlap). Zero — the default — folds the stall into NetBytesPerSec
+	// the way the paper's measured effective bandwidth already does, so
+	// calibrated results are unchanged.
+	FrameLatency time.Duration
+
 	// Engine stop conditions, mirroring core.Config.
 	MaxDiskIters           int
 	DiskDirtyThresholdBlks int
@@ -133,6 +149,7 @@ type sim struct {
 
 	memDirty float64 // expected dirty pages (analytic hot-set model)
 	memProf  workload.MemoryProfile
+	memPhase bool // memory pre-copy active: frames are single pages
 
 	rep        *metrics.Report
 	wSeries    metrics.Series
@@ -166,6 +183,12 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 	idle := initial != nil && cur == nil
 	if p.Step <= 0 {
 		p.Step = 250 * time.Millisecond
+	}
+	if p.Streams < 1 {
+		p.Streams = 1
+	}
+	if p.MaxExtentBlocks < 1 {
+		p.MaxExtentBlocks = 1
 	}
 	numBlocks := p.DiskMB << 20 / blockdev.BlockSize
 	numPages := p.MemMB << 20 / 4096
@@ -313,13 +336,39 @@ func minDur(a, b time.Duration) time.Duration {
 	return b
 }
 
-// migRate returns the migration bandwidth before disk contention.
+// migFrameBytes returns the payload+header size of one frame in the current
+// phase: disk phases coalesce up to MaxExtentBlocks blocks per frame, but
+// the engine never coalesces memory pages — each MsgMemPage is its own
+// frame — so the stall amortization must not flatter the memory pre-copy.
+func (s *sim) migFrameBytes() float64 {
+	if s.memPhase {
+		return 4096 + frameOverhead
+	}
+	return float64(blockdev.BlockSize*s.p.MaxExtentBlocks + frameOverhead)
+}
+
+// migRate returns the migration bandwidth before disk contention. When a
+// per-frame stall is modelled, each frame of payload P costs P/net +
+// FrameLatency/Streams seconds, so the effective rate rises with extent
+// coalescing (bigger P) and striping (stall overlapped across streams).
 func (s *sim) migRate() float64 {
 	r := s.p.NetBytesPerSec
+	if s.p.FrameLatency > 0 {
+		frameBytes := s.migFrameBytes()
+		perByte := 1/r + s.p.FrameLatency.Seconds()/(float64(s.p.Streams)*frameBytes)
+		r = 1 / perByte
+	}
 	if s.p.RateLimit > 0 && s.p.RateLimit < r {
 		r = s.p.RateLimit
 	}
 	return r
+}
+
+// perBlockWire returns the wire bytes one block costs with the configured
+// extent coalescing: the frame header is shared by up to MaxExtentBlocks
+// blocks.
+func (s *sim) perBlockWire() float64 {
+	return blockdev.BlockSize + float64(frameOverhead)/float64(s.p.MaxExtentBlocks)
 }
 
 // step advances one integration step of dt, returning the migration bytes
@@ -387,7 +436,7 @@ func (s *sim) applyAccess(a workload.Access) {
 
 // transferBlocks advances time until `blocks` blocks have crossed the wire.
 func (s *sim) transferBlocks(blocks int64) {
-	remaining := float64(blocks) * (blockdev.BlockSize + frameOverhead)
+	remaining := float64(blocks) * s.perBlockWire()
 	for remaining > 0 {
 		remaining -= s.step(s.p.Step)
 	}
@@ -398,7 +447,7 @@ func (s *sim) transferBlocks(blocks int64) {
 // applyAccess).
 func (s *sim) stepPostCopy() {
 	credit := s.step(s.p.Step)
-	pushBlocks := int(credit / (blockdev.BlockSize + frameOverhead))
+	pushBlocks := int(credit / s.perBlockWire())
 	if pushBlocks < 1 {
 		pushBlocks = 1 // guarantee progress even under an extreme cap
 	}
@@ -436,6 +485,8 @@ func (s *sim) advanceMemModel(dt time.Duration) {
 // model: iteration 1 sends every page; iteration k sends the pages dirtied
 // during iteration k-1.
 func (s *sim) memPreCopy() {
+	s.memPhase = true
+	defer func() { s.memPhase = false }()
 	rate := s.migRate()
 	toSend := float64(s.numPages)
 	s.memDirty = 0

@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// Latent models the per-frame cost of a real migration link: every frame
+// occupies the link for a fixed stall on top of whatever the inner Conn
+// costs, standing in for the synchronous per-message flush — syscall, NIC
+// doorbell, completion — that the paper's blkd pays on every block message.
+// Loopback transports hide this cost almost entirely (a loopback flush is
+// ~1 µs, a real one tens of µs), which makes per-block transfer look
+// artificially competitive in-process.
+//
+// Concurrent Sends on one Latent serialize through the link occupancy,
+// exactly as frames on one ordered stream serialize through its flush;
+// wrapping each connection of a Striped bundle in its own Latent lets the
+// stalls of different streams overlap, which is the mechanism by which
+// striping hides per-frame latency. Recv is passed through untouched.
+//
+// The accounting is cumulative: a sender is put to sleep only once it is at
+// least a scheduler quantum behind the modelled link, so the model stays
+// accurate for stalls far below the platform timer granularity.
+type Latent struct {
+	inner Conn
+	stall time.Duration
+
+	mu       sync.Mutex
+	nextFree time.Time // when the link has drained all queued frames
+}
+
+// latentQuantum is the smallest sleep worth issuing: below this the timer
+// granularity would distort the model more than bursting does.
+const latentQuantum = time.Millisecond
+
+// NewLatent wraps inner so each Send occupies the link for stall.
+func NewLatent(inner Conn, stall time.Duration) *Latent {
+	return &Latent{inner: inner, stall: stall}
+}
+
+// Send implements Conn.
+func (l *Latent) Send(m Message) error {
+	l.mu.Lock()
+	now := time.Now()
+	if l.nextFree.Before(now) {
+		l.nextFree = now
+	}
+	l.nextFree = l.nextFree.Add(l.stall)
+	wait := l.nextFree.Sub(now)
+	l.mu.Unlock()
+	if wait >= latentQuantum {
+		time.Sleep(wait)
+	}
+	return l.inner.Send(m)
+}
+
+// Recv implements Conn.
+func (l *Latent) Recv() (Message, error) { return l.inner.Recv() }
+
+// Close implements Conn.
+func (l *Latent) Close() error { return l.inner.Close() }

@@ -4,9 +4,12 @@
 // daemons (the paper's blkd processes plus the xc_linux_save/restore control
 // channel, collapsed into one framed stream per direction).
 //
-// Three connection flavours are provided: a raw framed stream over any
-// io.ReadWriteCloser (TCP in production), an in-process Pipe for tests, and
-// decorators for byte metering and token-bucket bandwidth shaping.
+// Connection flavours provided: a raw framed stream over any
+// io.ReadWriteCloser (TCP in production), an in-process Pipe for tests, a
+// Striped bundle fanning data frames across several connections (control
+// frames pinned to stream 0 behind broadcast barriers), and decorators for
+// byte metering, token-bucket bandwidth shaping, DEFLATE compression, fault
+// injection, and per-frame link-latency modelling.
 package transport
 
 import (
@@ -70,6 +73,25 @@ const (
 	// payload names the migrating domain and carries its geometry and vault
 	// so the receiver can provision a VBD and VM shell (hostd package).
 	MsgAnnounce
+	// MsgExtent carries a run of contiguous disk blocks in one frame: Arg
+	// packs the start block and block count (ExtentArg/ExtentSplit) and the
+	// payload is the concatenated block data. Coalescing extents amortizes
+	// the per-frame header and flush cost that makes per-block transfer
+	// latency-bound.
+	MsgExtent
+	// MsgStripeBarrier is a Striped-transport ordering fence: before a
+	// control frame crosses a multi-stream connection, one barrier frame is
+	// broadcast on every stream. The receiver holds each stream at its
+	// barrier until all streams reach it and the control frame has been
+	// delivered, so phase boundaries (ITER_END, SUSPEND, RESUME, ...) stay
+	// ordered against data frames striped across other streams. Arg is a
+	// sanity-check sequence number. Never seen by the engine.
+	MsgStripeBarrier
+	// MsgStripeHello labels one TCP connection of a striped bundle: Arg is
+	// the stream index and the payload a single byte holding the total
+	// stream count. Exchanged raw, before any framing decorators, by
+	// DialStriped/AcceptStriped. Never seen by the engine.
+	MsgStripeHello
 )
 
 // String implements fmt.Stringer.
@@ -82,6 +104,7 @@ func (t MsgType) String() string {
 		MsgResume: "RESUME", MsgPullRequest: "PULL_REQUEST", MsgPushDone: "PUSH_DONE",
 		MsgDone: "DONE", MsgError: "ERROR",
 		MsgResumed: "RESUMED", MsgDelta: "DELTA", MsgAnnounce: "ANNOUNCE",
+		MsgExtent: "EXTENT", MsgStripeBarrier: "STRIPE_BARRIER", MsgStripeHello: "STRIPE_HELLO",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -186,3 +209,22 @@ func (g *Geometry) UnmarshalBinary(data []byte) error {
 
 // ProtocolVersion is carried in MsgHello.Arg; mismatches abort the migration.
 const ProtocolVersion = 1
+
+// MaxExtentBlocks bounds the block count of one MsgExtent frame: 2^24-1
+// blocks (64 GiB of 4 KiB blocks), far above anything MaxPayload admits, so
+// the packing never constrains a legal frame.
+const MaxExtentBlocks = 1<<24 - 1
+
+// ExtentArg packs a start block and block count into a MsgExtent Arg: the
+// start in the low 40 bits, the count in the next 24.
+func ExtentArg(start, count int) uint64 {
+	if start < 0 || uint64(start) >= 1<<40 || count < 1 || count > MaxExtentBlocks {
+		panic(fmt.Sprintf("transport: extent [%d,+%d) unpackable", start, count))
+	}
+	return uint64(start) | uint64(count)<<40
+}
+
+// ExtentSplit unpacks a MsgExtent Arg into start block and block count.
+func ExtentSplit(arg uint64) (start, count int) {
+	return int(arg & (1<<40 - 1)), int(arg >> 40)
+}

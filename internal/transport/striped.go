@@ -1,0 +1,513 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Striped fans one logical Conn across several underlying connections so the
+// migration data path is no longer serialized through a single ordered
+// stream. Data frames (disk blocks, extents, memory pages) are striped
+// round-robin across all streams; every other frame is a control frame,
+// pinned to stream 0 so the protocol's phase signals keep a total order.
+//
+// Ordering across streams is re-established at data↔control transitions:
+// Send broadcasts one MsgStripeBarrier fence on every stream before the
+// first control frame after data and before the first data frame after a
+// control frame, and Recv holds each stream at its fence until every stream
+// has reached it. The guarantee the engine relies on is exactly the
+// single-stream one:
+//
+//   - every data frame sent before a control frame is received before it;
+//   - every data frame sent after a control frame is received after it.
+//
+// Data frames between two control frames may be received in any order, which
+// is safe for the migration protocol: within one pre-copy iteration each
+// block and page number appears at most once (they come from a bitmap scan),
+// and iteration boundaries are control frames. Runs of control frames with
+// no data between them — the destination's entire pull/ack direction — pay
+// no fences at all: they are FIFO on stream 0 already.
+//
+// Data sent concurrently with a control frame has no defined order relative
+// to it, just as two concurrent Sends on any Conn are unordered; the engine
+// quiesces its worker pool before sending phase signals.
+//
+// A Striped over a single stream degenerates to a transparent passthrough:
+// no barrier frames, wire-identical to the seed protocol.
+//
+// Each stream carries its own Meter; the aggregate implements the same
+// BytesSent/BytesReceived/MessagesSent/MessagesReceived view one Meter
+// provides, and PerStream exposes the per-stream counters.
+type Striped struct {
+	streams []*Meter
+
+	rr     atomic.Uint64 // round-robin cursor for data frames
+	sendMu sync.RWMutex  // RLock: data sends; Lock: fence+control sends
+	seq    uint64        // fences broadcast; guarded by sendMu (write side)
+	// dataSinceFence: a data frame went out after the last fence, so the
+	// next control frame must fence first. fenceBeforeData: a control frame
+	// went out, so the next data frame must fence first. Both transitions
+	// fencing is what lets everything in between stay fence-free.
+	dataSinceFence  atomic.Bool
+	fenceBeforeData atomic.Bool
+
+	recvOnce  sync.Once
+	frames    chan Message
+	done      chan struct{}
+	closeOnce sync.Once
+	bar       *recvBarrier
+
+	// Reader-death accounting: one stream failing does not fail the logical
+	// conn while other streams can still deliver (frames written before a
+	// peer's close are valid and, per stream, ordered before its EOF).
+	// Recv reports an error only once every reader is dead and the frame
+	// buffer is drained — which makes "last control frame, then close"
+	// teardowns deterministic instead of racing the idle streams' EOFs.
+	deadMu   sync.Mutex
+	dead     int
+	firstErr error
+	allDead  chan struct{}
+}
+
+// MaxStreams bounds a striped bundle: stream counts travel in single-byte
+// wire fields (MsgStripeHello payload, the hostd announce).
+const MaxStreams = 255
+
+// IsDataFrame reports whether a frame carries bulk migration data — the
+// frames a Striped conn may reorder between control frames, and the frames
+// the destination's scatter pool may apply out of order. The two uses must
+// agree, which is why there is exactly one copy of this predicate.
+func IsDataFrame(t MsgType) bool {
+	return t == MsgBlockData || t == MsgExtent || t == MsgMemPage
+}
+
+// NewStriped builds a logical connection over conns. conns[0] is the control
+// stream; ownership of all conns passes to the Striped. With one conn the
+// result is a transparent (but metered) passthrough.
+func NewStriped(conns []Conn) *Striped {
+	if len(conns) == 0 {
+		panic("transport: striped over zero streams")
+	}
+	s := &Striped{
+		streams: make([]*Meter, len(conns)),
+		done:    make(chan struct{}),
+		allDead: make(chan struct{}),
+	}
+	for i, c := range conns {
+		s.streams[i] = NewMeter(c)
+	}
+	s.bar = newRecvBarrier(len(conns))
+	return s
+}
+
+// Streams returns the number of underlying connections.
+func (s *Striped) Streams() int { return len(s.streams) }
+
+// PerStream returns the per-stream meters (index 0 is the control stream).
+func (s *Striped) PerStream() []*Meter { return s.streams }
+
+// BytesSent returns wire bytes sent across all streams, barriers included.
+func (s *Striped) BytesSent() int64 { return s.sum((*Meter).BytesSent) }
+
+// BytesReceived returns wire bytes received across all streams.
+func (s *Striped) BytesReceived() int64 { return s.sum((*Meter).BytesReceived) }
+
+// MessagesSent returns frames sent across all streams, barriers included.
+func (s *Striped) MessagesSent() int64 { return s.sum((*Meter).MessagesSent) }
+
+// MessagesReceived returns frames received across all streams.
+func (s *Striped) MessagesReceived() int64 { return s.sum((*Meter).MessagesReceived) }
+
+func (s *Striped) sum(f func(*Meter) int64) int64 {
+	var t int64
+	for _, m := range s.streams {
+		t += f(m)
+	}
+	return t
+}
+
+// Send implements Conn. Data frames normally take a shared lock and one
+// stream; the first data frame after a control frame, and any control frame
+// after data, first fences every stream under the exclusive lock.
+func (s *Striped) Send(m Message) error {
+	if len(s.streams) == 1 {
+		return s.streams[0].Send(m)
+	}
+	if IsDataFrame(m.Type) {
+		if s.fenceBeforeData.Load() {
+			s.sendMu.Lock()
+			defer s.sendMu.Unlock()
+			if s.fenceBeforeData.Load() { // not already fenced by a racing peer
+				if err := s.fenceLocked(); err != nil {
+					return err
+				}
+				s.fenceBeforeData.Store(false)
+			}
+			s.dataSinceFence.Store(true)
+			i := int(s.rr.Add(1)-1) % len(s.streams)
+			return s.streams[i].Send(m)
+		}
+		s.sendMu.RLock()
+		defer s.sendMu.RUnlock()
+		s.dataSinceFence.Store(true)
+		i := int(s.rr.Add(1)-1) % len(s.streams)
+		return s.streams[i].Send(m)
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.dataSinceFence.Load() {
+		if err := s.fenceLocked(); err != nil {
+			return err
+		}
+		s.dataSinceFence.Store(false)
+	}
+	s.fenceBeforeData.Store(true)
+	return s.streams[0].Send(m)
+}
+
+// fenceLocked broadcasts one barrier frame on every stream. Caller holds the
+// exclusive send lock.
+func (s *Striped) fenceLocked() error {
+	s.seq++
+	for i, st := range s.streams {
+		if err := st.Send(Message{Type: MsgStripeBarrier, Arg: s.seq}); err != nil {
+			return fmt.Errorf("transport: stripe barrier on stream %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Recv implements Conn, merging the streams under the fence discipline.
+// Buffered frames are always delivered before a failure is reported.
+func (s *Striped) Recv() (Message, error) {
+	if len(s.streams) == 1 {
+		return s.streams[0].Recv()
+	}
+	s.recvOnce.Do(s.startReaders)
+	select {
+	case m := <-s.frames:
+		return m, nil
+	default:
+	}
+	select {
+	case m := <-s.frames:
+		return m, nil
+	case <-s.allDead:
+		select {
+		case m := <-s.frames:
+			return m, nil
+		default:
+			return Message{}, s.recvError()
+		}
+	case <-s.done:
+		select {
+		case m := <-s.frames:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+func (s *Striped) recvError() error {
+	s.deadMu.Lock()
+	defer s.deadMu.Unlock()
+	if s.firstErr == nil {
+		return ErrClosed
+	}
+	return s.firstErr
+}
+
+// Close implements Conn: every stream is closed and pending Recvs fail.
+func (s *Striped) Close() error {
+	var first error
+	for _, st := range s.streams {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if len(s.streams) > 1 {
+		s.bar.abort()
+		s.closeOnce.Do(func() { close(s.done) })
+	}
+	return first
+}
+
+func (s *Striped) startReaders() {
+	s.frames = make(chan Message, 4*len(s.streams))
+	for i := range s.streams {
+		go s.readStream(i)
+	}
+}
+
+// readerDead records one reader's exit. The barrier is aborted (a fence can
+// never complete once a stream stops arriving at it), and once the last
+// reader is gone, Recv starts reporting the first error.
+func (s *Striped) readerDead(err error) {
+	s.deadMu.Lock()
+	if err != nil && s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.dead++
+	last := s.dead == len(s.streams)
+	s.deadMu.Unlock()
+	s.bar.abort()
+	if last {
+		close(s.allDead)
+	}
+}
+
+// readStream pumps one stream into the merge channel. At a fence frame the
+// reader parks until every stream has reached the fence; by then, every
+// pre-fence frame of every stream has been pushed, and no post-fence frame
+// can be pushed before. Combined with sender-side fencing at data↔control
+// transitions, this delivers data-before-control and control-before-data
+// exactly as a single ordered stream would.
+func (s *Striped) readStream(i int) {
+	c := s.streams[i]
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			s.readerDead(fmt.Errorf("transport: stream %d: %w", i, err))
+			return
+		}
+		if m.Type == MsgStripeBarrier {
+			if !s.bar.await() {
+				s.readerDead(nil) // fence aborted: this stream stops delivering
+				return
+			}
+			continue
+		}
+		if !s.push(m) {
+			s.readerDead(nil) // conn closed under us
+			return
+		}
+	}
+}
+
+// push delivers one frame, returning false if the conn closed meanwhile.
+func (s *Striped) push(m Message) bool {
+	select {
+	case s.frames <- m:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+// recvBarrier is a reusable symmetric barrier for the per-stream readers:
+// each fence completes when all n readers have arrived, releasing them
+// together into the next phase.
+type recvBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	phase   uint64
+	aborted bool
+}
+
+func newRecvBarrier(n int) *recvBarrier {
+	b := &recvBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await parks the caller at the current fence until all n readers arrive.
+// Returns false if the barrier was aborted.
+func (b *recvBarrier) await() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.phase++
+		b.cond.Broadcast()
+		return !b.aborted
+	}
+	p := b.phase
+	for b.phase == p && !b.aborted {
+		b.cond.Wait()
+	}
+	return !b.aborted
+}
+
+// abort permanently unblocks the barrier; all waiters return false.
+func (b *recvBarrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// DialStriped opens n TCP connections to addr and bundles them as one
+// Striped conn. Each connection is labeled with a raw MsgStripeHello frame
+// (stream index in Arg, total count in the payload) so the acceptor can
+// reassemble the bundle regardless of accept order. wrap, when non-nil,
+// decorates each connection (e.g. with compression) after the label is sent;
+// both endpoints must wrap symmetrically.
+func DialStriped(addr string, n int, wrap func(Conn) (Conn, error)) (*Striped, error) {
+	if n < 1 || n > MaxStreams {
+		return nil, fmt.Errorf("transport: dial striped: %d streams outside [1,%d]", n, MaxStreams)
+	}
+	conn0, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := sendStripeHello(conn0, 0, n); err != nil {
+		conn0.Close()
+		return nil, err
+	}
+	if wrap != nil {
+		w, err := wrap(conn0)
+		if err != nil {
+			conn0.Close()
+			return nil, err
+		}
+		conn0 = w
+	}
+	return DialExtraStreams(addr, conn0, n, wrap)
+}
+
+// DialExtraStreams dials streams 1..n-1 of a bundle whose stream 0 the
+// caller already established (and identified through its own protocol, as
+// hostd's announce does), labels each with MsgStripeHello, and bundles
+// everything. On error every connection — conn0 included — is closed.
+func DialExtraStreams(addr string, conn0 Conn, n int, wrap func(Conn) (Conn, error)) (*Striped, error) {
+	if n < 1 || n > MaxStreams {
+		conn0.Close()
+		return nil, fmt.Errorf("transport: %d streams outside [1,%d]", n, MaxStreams)
+	}
+	conns := make([]Conn, 1, n)
+	conns[0] = conn0
+	fail := func(err error) (*Striped, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			return fail(err)
+		}
+		conns = append(conns, c)
+		if err := sendStripeHello(c, i, n); err != nil {
+			return fail(err)
+		}
+		if wrap != nil {
+			w, err := wrap(c)
+			if err != nil {
+				return fail(err)
+			}
+			conns[i] = w
+		}
+	}
+	return NewStriped(conns), nil
+}
+
+// sendStripeHello labels one connection of an n-wide bundle.
+func sendStripeHello(c Conn, idx, n int) error {
+	if err := c.Send(Message{Type: MsgStripeHello, Arg: uint64(idx), Payload: []byte{byte(n)}}); err != nil {
+		return fmt.Errorf("transport: stripe hello %d: %w", idx, err)
+	}
+	return nil
+}
+
+// recvStripeHello reads and validates one connection's label.
+func recvStripeHello(c Conn) (idx, total int, err error) {
+	hello, err := c.Recv()
+	if err != nil {
+		return 0, 0, fmt.Errorf("transport: stripe hello: %w", err)
+	}
+	if hello.Type != MsgStripeHello || len(hello.Payload) != 1 {
+		return 0, 0, fmt.Errorf("transport: expected STRIPE_HELLO, got %v", hello.Type)
+	}
+	return int(hello.Arg), int(hello.Payload[0]), nil
+}
+
+// AcceptStriped accepts one striped bundle on l: the first connection's
+// MsgStripeHello announces the stream count, and further connections are
+// accepted until every index is present. wrap mirrors DialStriped's.
+func AcceptStriped(l net.Listener, wrap func(Conn) (Conn, error)) (*Striped, error) {
+	c, err := Accept(l)
+	if err != nil {
+		return nil, err
+	}
+	idx, total, err := recvStripeHello(c)
+	if err == nil && (total < 1 || idx < 0 || idx >= total) {
+		err = fmt.Errorf("transport: stripe hello idx=%d total=%d inconsistent", idx, total)
+	}
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if wrap != nil {
+		w, werr := wrap(c)
+		if werr != nil {
+			c.Close()
+			return nil, werr
+		}
+		c = w
+	}
+	return acceptRemaining(l, map[int]Conn{idx: c}, total, wrap)
+}
+
+// AcceptExtraStreams accepts streams 1..n-1 of a bundle whose stream 0 the
+// caller already holds (identified through its own protocol) and bundles
+// them. On error every connection — conn0 included — is closed.
+func AcceptExtraStreams(l net.Listener, conn0 Conn, n int, wrap func(Conn) (Conn, error)) (*Striped, error) {
+	if n < 1 || n > MaxStreams {
+		conn0.Close()
+		return nil, fmt.Errorf("transport: %d streams outside [1,%d]", n, MaxStreams)
+	}
+	return acceptRemaining(l, map[int]Conn{0: conn0}, n, wrap)
+}
+
+// acceptRemaining collects labeled connections from l until indices 0..n-1
+// are all present, starting from the already-claimed ones in got.
+func acceptRemaining(l net.Listener, got map[int]Conn, n int, wrap func(Conn) (Conn, error)) (*Striped, error) {
+	fail := func(err error) (*Striped, error) {
+		for _, c := range got {
+			c.Close()
+		}
+		return nil, err
+	}
+	for len(got) < n {
+		c, err := Accept(l)
+		if err != nil {
+			return fail(err)
+		}
+		idx, total, err := recvStripeHello(c)
+		if err == nil {
+			switch {
+			case total != n:
+				err = fmt.Errorf("transport: stripe hello names %d streams, bundle has %d", total, n)
+			case idx < 0 || idx >= n:
+				err = fmt.Errorf("transport: stripe index %d outside bundle of %d", idx, n)
+			case got[idx] != nil:
+				err = fmt.Errorf("transport: duplicate stripe index %d", idx)
+			}
+		}
+		if err != nil {
+			c.Close()
+			return fail(err)
+		}
+		if wrap != nil {
+			w, werr := wrap(c)
+			if werr != nil {
+				c.Close()
+				return fail(werr)
+			}
+			c = w
+		}
+		got[idx] = c
+	}
+	conns := make([]Conn, n)
+	for i := range conns {
+		conns[i] = got[i]
+	}
+	return NewStriped(conns), nil
+}
