@@ -37,14 +37,49 @@
 //     their ordering against data on other streams.
 //
 // The default (1 stream, extent size 1, 1 worker) is wire-compatible with
-// the seed protocol; any other setting requires both endpoints to agree on
-// the stream count, exactly as with compression.
+// the seed protocol.
+//
+// # Phase pipeline and progress events
+//
+// Every scheme the library implements — TPM, IM, and the three comparison
+// baselines — is a pipeline of named phases (handshake, disk-precopy,
+// mem-precopy, freeze-and-copy, post-copy, …) over one shared transfer
+// substrate. Both endpoints publish typed progress events as the pipeline
+// runs: set Config.OnEvent and receive PhaseStart/PhaseEnd transitions,
+// IterationEnd summaries, throttled BytesTransferred heartbeats, the
+// Suspended/Resumed downtime bounds, PullServed notifications, and a
+// terminal Completed or Failed. Handlers may be called concurrently and
+// must not block. ProgressTracker folds the stream into a queryable
+// Progress snapshot — the hostd layer uses exactly this to answer
+// live-status queries for in-flight migrations.
+//
+// # Policies
+//
+// The Policy interface owns the decisions the engine otherwise freezes in
+// constants: pre-copy stop conditions, the live extent coalescing limit,
+// per-payload compression verdicts, and pre-copy pacing. DefaultPolicy (the
+// nil default) reproduces the paper's behavior exactly — with the other
+// knobs at their defaults it is wire-identical to the seed protocol, which
+// a golden frame-trace test enforces. AdaptivePolicy grows the extent size
+// by slow start from observed throughput and gates compression attempts by
+// observed shrink ratio; on a latency-bound link it recovers the hand-tuned
+// configuration's throughput without anyone picking constants.
+//
+// # Negotiated vs local configuration
+//
+// Two Config fields change the wire framing and must match on both
+// endpoints: Streams and CompressLevel. The hostd layer negotiates both
+// automatically in its announce frame (a mismatched receiver refuses before
+// the engine handshake); raw engine users pass matching values on both
+// sides. Everything else — thresholds, Workers, MaxExtentBlocks,
+// BandwidthLimit, Policy, OnEvent and the lifecycle hooks — is local-only
+// and may differ freely between endpoints.
 //
 // Subpackages (internal/...) hold the substrates: bitmap, blockdev, blkback,
 // transport, vm, workload, metrics, and the paper-scale simulator sim. The
 // examples/ directory shows complete wirings; cmd/bbmig is a runnable
 // migration daemon and cmd/bbench regenerates every table and figure of the
-// paper's evaluation.
+// paper's evaluation (plus a machine-readable BENCH_*.json suite).
 package bbmig
 
 import (
@@ -71,6 +106,43 @@ type DestResult = core.DestResult
 
 // Report carries the paper's §III-A metrics for one migration run.
 type Report = metrics.Report
+
+// Policy owns the runtime transfer decisions (stop conditions, extent size,
+// compression verdicts, pacing). Nil in Config selects DefaultPolicy.
+type Policy = core.Policy
+
+// DefaultPolicy reproduces the paper's fixed behavior; it is wire-identical
+// to the seed protocol under the default Config.
+type DefaultPolicy = core.DefaultPolicy
+
+// AdaptivePolicy tunes extent size and compression from observed
+// dirty-rate vs. throughput. One instance per migration.
+type AdaptivePolicy = core.AdaptivePolicy
+
+// IterationStat summarizes one pre-copy iteration for policy decisions.
+type IterationStat = core.IterationStat
+
+// Event is one typed progress notification; see Config.OnEvent.
+type Event = core.Event
+
+// EventKind identifies a progress event.
+type EventKind = core.EventKind
+
+// EventFunc consumes progress events; it may be invoked concurrently.
+type EventFunc = core.EventFunc
+
+// Progress is a point-in-time snapshot of one migration endpoint.
+type Progress = core.Progress
+
+// ProgressTracker folds an event stream into a queryable Progress snapshot.
+type ProgressTracker = core.ProgressTracker
+
+// NewProgressTracker returns an empty tracker; wire Handle into
+// Config.OnEvent and call Snapshot from any goroutine.
+var NewProgressTracker = core.NewProgressTracker
+
+// ChainEvents composes several event handlers into one.
+var ChainEvents = core.ChainEvents
 
 // Bitmap is the block-bitmap used to select blocks for incremental
 // migration.

@@ -519,7 +519,7 @@ func BenchmarkMigrateKernelBuildTCP_Striped4Coalesced(b *testing.B) {
 // is about: per-block single-stream transfer serializes one stall per 4 KiB
 // block, while coalescing amortizes the stall over an extent and striping
 // overlaps the stalls of different streams.
-func benchMigrateModeledLink(b *testing.B, streams, extentBlocks, workers int) {
+func benchMigrateModeledLink(b *testing.B, streams, extentBlocks, workers int, newPolicy func() core.Policy) {
 	b.Helper()
 	const blocks = 16384
 	const frameStall = 40 * time.Microsecond // syscall + doorbell + completion
@@ -539,9 +539,15 @@ func benchMigrateModeledLink(b *testing.B, streams, extentBlocks, workers int) {
 		}
 		cs, cd := transport.NewStriped(a), transport.NewStriped(bb)
 		cfg := core.Config{Streams: streams, MaxExtentBlocks: extentBlocks, Workers: workers}
+		// A fresh policy per migration: policies are stateful and must not be
+		// shared, and a reused one would warm-start later iterations.
+		srcCfg := cfg
+		if newPolicy != nil {
+			srcCfg.Policy = newPolicy()
+		}
 		errCh := make(chan error, 1)
 		go func() {
-			_, err := core.MigrateSource(cfg, src, cs, nil)
+			_, err := core.MigrateSource(srcCfg, src, cs, nil)
 			errCh <- err
 		}()
 		if _, err := core.MigrateDest(cfg, dst, cd); err != nil {
@@ -556,15 +562,24 @@ func benchMigrateModeledLink(b *testing.B, streams, extentBlocks, workers int) {
 }
 
 func BenchmarkMigrate_SingleStreamPerBlock(b *testing.B) {
-	benchMigrateModeledLink(b, 1, 1, 1)
+	benchMigrateModeledLink(b, 1, 1, 1, nil)
 }
 
 func BenchmarkMigrate_Coalesced64(b *testing.B) {
-	benchMigrateModeledLink(b, 1, 64, 1)
+	benchMigrateModeledLink(b, 1, 64, 1, nil)
 }
 
 func BenchmarkMigrate_Striped4Coalesced(b *testing.B) {
-	benchMigrateModeledLink(b, 4, 64, 4)
+	benchMigrateModeledLink(b, 4, 64, 4, nil)
+}
+
+// BenchmarkMigrate_AdaptivePolicy starts from the seed configuration
+// (1 stream, extent 1) and lets core.AdaptivePolicy discover the extent
+// size from the link's observed behavior — the acceptance scenario for the
+// policy layer: it must land near the hand-tuned Coalesced64 row without
+// anyone picking the constant.
+func BenchmarkMigrate_AdaptivePolicy(b *testing.B) {
+	benchMigrateModeledLink(b, 1, 1, 1, func() core.Policy { return &core.AdaptivePolicy{} })
 }
 
 // --- Extension benches: compression, vault, traces, host daemon ----------

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bbmig/internal/blkback"
+	"bbmig/internal/blockdev"
+	"bbmig/internal/core"
+	"bbmig/internal/sim"
+	"bbmig/internal/transport"
+	"bbmig/internal/vm"
+	"bbmig/internal/workload"
+)
+
+// This file is the machine-readable benchmark harness: `bbench -json FILE`
+// runs a curated suite — real-engine migrations over a latency-modelled link
+// under each transfer policy, plus the paper-scale simulator's headline
+// numbers — and writes a BENCH_*.json snapshot so the perf trajectory is
+// tracked across PRs instead of living in scrollback.
+
+// benchResult is one benchmark's outcome.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations,omitempty"`
+	NsPerOp    float64            `json:"ns_per_op,omitempty"`
+	MBPerSec   float64            `json:"mb_per_s,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchFile is the BENCH_*.json schema.
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// modeledMigrate runs one full TPM migration of a kernel-build image over
+// in-process pipes with a per-frame stall, under the given policy/extent
+// shape, and is the body testing.Benchmark drives.
+func modeledMigrate(b *testing.B, blocks, extentBlocks int, adaptive bool) {
+	const frameStall = 40 * time.Microsecond
+	srcDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+	gen := workload.New(workload.Kernel, blocks, 1)
+	buf := make([]byte, blockdev.BlockSize)
+	for i := 0; i < 8000; i++ {
+		a := gen.Next()
+		if a.Op != blockdev.Write {
+			continue
+		}
+		for n := a.Block; n < a.Block+a.Count && n < blocks; n++ {
+			workload.FillBlock(buf, n, 1)
+			srcDisk.WriteBlock(n, buf)
+		}
+	}
+	b.SetBytes(int64(blocks) * blockdev.BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dstDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+		guest := vm.New("g", 1, 64, 256)
+		src := core.Host{VM: guest, Backend: blkback.NewBackend(srcDisk, 1)}
+		dst := core.Host{VM: vm.NewDestination(guest), Backend: blkback.NewBackend(dstDisk, 1)}
+		pa, pb := transport.NewPipe(256)
+		cs, cd := transport.NewLatent(pa, frameStall), transport.NewLatent(pb, frameStall)
+		cfg := core.Config{MaxExtentBlocks: extentBlocks}
+		// Policies are stateful and per-migration: a fresh one each run, on
+		// the sending side only (the receiver applies whatever arrives).
+		srcCfg := cfg
+		if adaptive {
+			srcCfg.Policy = &core.AdaptivePolicy{}
+		}
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := core.MigrateSource(srcCfg, src, cs, nil)
+			errCh <- err
+		}()
+		if _, err := core.MigrateDest(cfg, dst, cd); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+		cs.Close()
+		cd.Close()
+	}
+}
+
+// runJSON executes the suite and writes path.
+func runJSON(path string, seed int64) error {
+	const blocks = 4096 // 16 MiB image keeps the suite fast enough for CI
+	out := benchFile{
+		Schema:    "bbmig-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	add := func(name string, r testing.BenchmarkResult) {
+		mbps := 0.0
+		if r.NsPerOp() > 0 && r.Bytes > 0 {
+			mbps = float64(r.Bytes) / float64(r.NsPerOp()) * 1e9 / 1e6
+		}
+		out.Benchmarks = append(out.Benchmarks, benchResult{
+			Name: name, Iterations: r.N, NsPerOp: float64(r.NsPerOp()), MBPerSec: mbps,
+		})
+		fmt.Printf("%-44s %8d ns/op  %9.1f MB/s\n", name, r.NsPerOp(), mbps)
+	}
+
+	// Real engine over the modelled link: the policy trajectory.
+	add("MigrateModeledLink/default-per-block",
+		testing.Benchmark(func(b *testing.B) { modeledMigrate(b, blocks, 1, false) }))
+	add("MigrateModeledLink/fixed-64-extents",
+		testing.Benchmark(func(b *testing.B) { modeledMigrate(b, blocks, 64, false) }))
+	add("MigrateModeledLink/adaptive-policy",
+		testing.Benchmark(func(b *testing.B) { modeledMigrate(b, blocks, 1, true) }))
+
+	// Paper-scale simulator headlines: deterministic, so stored as metrics.
+	for _, kind := range sim.TableIWorkloads() {
+		p := sim.Defaults(kind)
+		p.Seed = seed
+		p.DwellAfter = time.Minute
+		r := sim.RunTPM(p)
+		out.Benchmarks = append(out.Benchmarks, benchResult{
+			Name: "SimTableI/" + kind.String(),
+			Metrics: map[string]float64{
+				"total_s":     r.Report.TotalTime.Seconds(),
+				"downtime_ms": float64(r.Report.Downtime.Milliseconds()),
+				"migrated_mb": r.Report.MigratedMB(),
+				"disk_iters":  float64(r.Report.DiskIterationCount()),
+			},
+		})
+	}
+	results, _ := sim.AdaptiveSweep(seed)
+	for i, name := range []string{"default", "fixed64", "adaptive"} {
+		out.Benchmarks = append(out.Benchmarks, benchResult{
+			Name: "SimAdaptiveSweep/" + name,
+			Metrics: map[string]float64{
+				"total_s":     results[i].Report.TotalTime.Seconds(),
+				"precopy_s":   results[i].Report.PreCopyTime.Seconds(),
+				"migrated_mb": results[i].Report.MigratedMB(),
+			},
+		})
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(out.Benchmarks))
+	return nil
+}

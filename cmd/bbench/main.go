@@ -12,7 +12,14 @@
 //	bbench -exp downtime-granularity  — how granularity inflates downtime
 //	bbench -exp schemes     §II       — all four schemes, one table
 //	bbench -exp availability §II-B    — on-demand fetching availability p²
+//	bbench -exp adaptive    transfer-policy sweep on a latency-modelled link
 //	bbench -exp all         everything above
+//
+// In addition, -json FILE runs the machine-readable benchmark suite (real
+// engine over a modelled link under each transfer policy, plus the
+// simulator's headline numbers) and writes a BENCH_*.json snapshot:
+//
+//	bbench -json BENCH_engine.json
 package main
 
 import (
@@ -29,10 +36,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|fig5|fig6|iters|locality|granularity|availability|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|fig5|fig6|iters|locality|granularity|availability|adaptive|all)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	samples := flag.Int("samples", 40, "series rows to print for figures")
+	jsonOut := flag.String("json", "", "run the machine-readable benchmark suite and write BENCH_*.json here")
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := runJSON(*jsonOut, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "bbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := map[string]func(int64, int){
 		"table1":               table1,
@@ -46,9 +62,10 @@ func main() {
 		"availability":         availability,
 		"downtime-granularity": downtimeGranularity,
 		"schemes":              schemes,
+		"adaptive":             adaptive,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "fig5", "fig6", "iters", "locality", "granularity", "downtime-granularity", "schemes", "availability"} {
+		for _, name := range []string{"table1", "table2", "table3", "fig5", "fig6", "iters", "locality", "granularity", "downtime-granularity", "schemes", "availability", "adaptive"} {
 			run[name](*seed, *samples)
 			fmt.Println()
 		}
@@ -158,6 +175,12 @@ func downtimeGranularity(seed int64, _ int) {
 func schemes(seed int64, _ int) {
 	fmt.Print(sim.SchemeComparison(workload.Web, seed).String())
 	fmt.Print(sim.SchemeComparison(workload.Diabolic, seed).String())
+}
+
+func adaptive(seed int64, _ int) {
+	_, tab := sim.AdaptiveSweep(seed)
+	fmt.Print(tab.String())
+	fmt.Println("adaptive slow-start must close most of the gap to the hand-tuned extent without configuration")
 }
 
 func availability(_ int64, _ int) {

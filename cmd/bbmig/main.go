@@ -23,11 +23,16 @@
 // Parallel transfer: -streams N opens N TCP connections and stripes block
 // data across them, -extent-blocks M coalesces up to M contiguous blocks
 // per frame, and -workers W pipelines device reads and sends. Both ends
-// must pass the same -streams value (like -compress); the defaults keep
-// the single-connection per-block wire format:
+// must pass the same -streams value (like -compress / -compress-level,
+// which now ride in core.Config and are applied by the engine itself); the
+// defaults keep the single-connection per-block wire format:
 //
 //	bbmig -mode recv -listen :7011 -image guest.img -streams 4
 //	bbmig -mode send -addr dst:7011 -image guest.img -streams 4 -extent-blocks 64 -workers 4
+//
+// -progress prints the engine's live event stream (phase transitions,
+// pre-copy iterations, wire-byte heartbeats, suspend/resume, post-copy
+// pulls) as the migration runs.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	"bbmig/internal/bitmap"
@@ -59,7 +65,9 @@ func main() {
 		limitMbps = flag.Int("limit-mbps", 0, "pre-copy bandwidth cap in Mbit/s (0 = unlimited)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		speedup   = flag.Float64("speedup", 1, "workload time compression factor")
-		compress  = flag.Bool("compress", false, "DEFLATE-compress the migration stream (both ends must agree)")
+		compress  = flag.Bool("compress", false, "DEFLATE-compress the migration stream at the default level (both ends must agree)")
+		compLevel = flag.Int("compress-level", 0, "explicit flate level -2..9 (overrides -compress; both ends must agree)")
+		progress  = flag.Bool("progress", false, "print live phase/iteration/byte progress events")
 		streams   = flag.Int("streams", 1, "parallel transport connections (both ends must agree)")
 		extentBlk = flag.Int("extent-blocks", 1, "send: max contiguous blocks coalesced per frame")
 		workers   = flag.Int("workers", 1, "send: read/send pipeline workers; recv: scatter-write workers")
@@ -68,7 +76,11 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := xferOpts{streams: *streams, extentBlocks: *extentBlk, workers: *workers, compress: *compress}
+	level := *compLevel
+	if level == 0 && *compress {
+		level = -1 // flate.DefaultCompression
+	}
+	opts := xferOpts{streams: *streams, extentBlocks: *extentBlk, workers: *workers, compressLevel: level, progress: *progress}
 	var err error
 	switch *mode {
 	case "send":
@@ -111,48 +123,75 @@ func openOrCreate(path string, sizeMB int) (*blockdev.FileDisk, error) {
 }
 
 // xferOpts bundles the transfer-shape knobs shared by both endpoints.
+// Compression is no longer a connection-layer wrap here: it rides in
+// core.Config.CompressLevel and the engine decorates its own stream, so the
+// cmd layer only builds the raw (possibly striped) transport.
 type xferOpts struct {
-	streams      int
-	extentBlocks int
-	workers      int
-	compress     bool
+	streams       int
+	extentBlocks  int
+	workers       int
+	compressLevel int
+	progress      bool
 }
 
-// wrapCompress symmetrically wraps conn when requested.
-func wrapCompress(conn transport.Conn, on bool) (transport.Conn, error) {
-	if !on {
-		return conn, nil
+// config renders the shared knobs as an engine Config.
+func (o xferOpts) config() core.Config {
+	cfg := core.Config{
+		Streams:         o.streams,
+		MaxExtentBlocks: o.extentBlocks,
+		Workers:         o.workers,
+		CompressLevel:   o.compressLevel,
 	}
-	return transport.NewCompressed(conn, 0)
+	if o.progress {
+		cfg.OnEvent = progressPrinter()
+	}
+	return cfg
+}
+
+// progressPrinter renders engine events as human-readable progress lines.
+func progressPrinter() core.EventFunc {
+	var mu sync.Mutex
+	return func(ev core.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		at := ev.At.Round(time.Millisecond)
+		switch ev.Kind {
+		case core.EventPhaseStart:
+			fmt.Printf("[%s %7v] phase %s\n", ev.Side, at, ev.Phase)
+		case core.EventIterationEnd:
+			fmt.Printf("[%s %7v] %s iteration %d: %d units, %.1f MiB, %d dirty\n",
+				ev.Side, at, ev.Phase, ev.Iteration, ev.Units, float64(ev.Bytes)/(1<<20), ev.Dirty)
+		case core.EventBytesTransferred:
+			fmt.Printf("[%s %7v] %.0f MiB on the wire\n", ev.Side, at, float64(ev.Bytes)/(1<<20))
+		case core.EventSuspended:
+			fmt.Printf("[%s %7v] VM suspended (downtime begins)\n", ev.Side, at)
+		case core.EventResumed:
+			fmt.Printf("[%s %7v] VM running on destination (downtime over)\n", ev.Side, at)
+		case core.EventPullServed:
+			fmt.Printf("[%s %7v] pull served for block %d\n", ev.Side, at, ev.Units)
+		case core.EventCompleted:
+			fmt.Printf("[%s %7v] migration complete: %.1f MiB total\n", ev.Side, at, float64(ev.Bytes)/(1<<20))
+		case core.EventFailed:
+			fmt.Printf("[%s %7v] migration FAILED in %s: %s\n", ev.Side, at, ev.Phase, ev.Err)
+		}
+	}
 }
 
 // dialConn opens the migration transport: a single connection, or a striped
-// bundle of o.streams connections with each stream compressed independently.
+// bundle of o.streams raw connections.
 func dialConn(addr string, o xferOpts) (transport.Conn, error) {
 	if o.streams <= 1 {
-		c, err := transport.Dial(addr)
-		if err != nil {
-			return nil, err
-		}
-		return wrapCompress(c, o.compress)
+		return transport.Dial(addr)
 	}
-	return transport.DialStriped(addr, o.streams, func(c transport.Conn) (transport.Conn, error) {
-		return wrapCompress(c, o.compress)
-	})
+	return transport.DialStriped(addr, o.streams, nil)
 }
 
 // acceptConn mirrors dialConn on the listening side.
 func acceptConn(l net.Listener, o xferOpts) (transport.Conn, error) {
 	if o.streams <= 1 {
-		c, err := transport.Accept(l)
-		if err != nil {
-			return nil, err
-		}
-		return wrapCompress(c, o.compress)
+		return transport.Accept(l)
 	}
-	return transport.AcceptStriped(l, func(c transport.Conn) (transport.Conn, error) {
-		return wrapCompress(c, o.compress)
-	})
+	return transport.AcceptStriped(l, nil)
 }
 
 func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, seed int64, speedup float64, opts xferOpts, initialBMPath string) error {
@@ -200,12 +239,8 @@ func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, se
 		initial = backend.SwapDirty()
 		fmt.Printf("incremental migration: %d blocks to send\n", initial.Count())
 	}
-	cfg := core.Config{
-		OnFreeze:        router.Freeze,
-		Streams:         opts.streams,
-		MaxExtentBlocks: opts.extentBlocks,
-		Workers:         opts.workers,
-	}
+	cfg := opts.config()
+	cfg.OnFreeze = router.Freeze
 	if limitMbps > 0 {
 		cfg.BandwidthLimit = int64(limitMbps) * 1e6 / 8
 	}
@@ -258,12 +293,9 @@ func recvServe(l net.Listener, image string, sizeMB, memMB int, opts xferOpts, f
 	shell.Suspend() // destination shells are born frozen
 	backend := blkback.NewBackend(disk, shell.DomainID)
 
-	cfg := core.Config{
-		Streams: opts.streams,
-		Workers: opts.workers,
-		OnResume: func(g *blkback.PostCopyGate) {
-			fmt.Println("VM resumed here; post-copy synchronization running")
-		},
+	cfg := opts.config()
+	cfg.OnResume = func(g *blkback.PostCopyGate) {
+		fmt.Println("VM resumed here; post-copy synchronization running")
 	}
 	res, err := core.MigrateDest(cfg, core.Host{VM: shell, Backend: backend}, conn)
 	if err != nil {
@@ -320,8 +352,7 @@ func runDemo(sizeMB, memMB int, wl string, seed int64, opts xferOpts) error {
 		shell := vm.New("guest", 1, memMB<<20/vm.PageSize, 0)
 		shell.Suspend()
 		backend := blkback.NewBackend(disk, shell.DomainID)
-		cfg := core.Config{Streams: opts.streams, Workers: opts.workers}
-		res, err := core.MigrateDest(cfg, core.Host{VM: shell, Backend: backend}, conn)
+		res, err := core.MigrateDest(opts.config(), core.Host{VM: shell, Backend: backend}, conn)
 		if err == nil {
 			fmt.Printf("demo receiver: synchronized; %d blocks pulled, fresh bitmap %d blocks\n",
 				res.Report.BlocksPulled, res.Gate.FreshBitmap().Count())

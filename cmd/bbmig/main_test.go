@@ -61,18 +61,16 @@ func TestOpenOrCreate(t *testing.T) {
 	}
 }
 
-func TestWrapCompress(t *testing.T) {
-	a, _ := transport.NewPipe(1)
-	same, err := wrapCompress(a, false)
-	if err != nil || same != a {
-		t.Fatal("off: must return the conn unchanged")
+func TestXferOptsConfig(t *testing.T) {
+	cfg := xferOpts{streams: 4, extentBlocks: 16, workers: 3, compressLevel: 6}.config()
+	if cfg.Streams != 4 || cfg.MaxExtentBlocks != 16 || cfg.Workers != 3 || cfg.CompressLevel != 6 {
+		t.Fatalf("config mapping lost knobs: %+v", cfg)
 	}
-	wrapped, err := wrapCompress(a, true)
-	if err != nil {
-		t.Fatal(err)
+	if cfg.OnEvent != nil {
+		t.Fatal("OnEvent set without -progress")
 	}
-	if _, ok := wrapped.(*transport.Compressed); !ok {
-		t.Fatalf("on: got %T", wrapped)
+	if c2 := (xferOpts{progress: true}).config(); c2.OnEvent == nil {
+		t.Fatal("-progress did not install an event handler")
 	}
 }
 
@@ -135,8 +133,8 @@ func TestSendRecvRoundTripWithIM(t *testing.T) {
 	}
 	defer l.Close()
 	recvDone := make(chan error, 1)
-	go func() { recvDone <- recvServe(l, dstImg, sizeMB, memMB, xferOpts{compress: true}, bmPath) }()
-	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, xferOpts{compress: true}, ""); err != nil {
+	go func() { recvDone <- recvServe(l, dstImg, sizeMB, memMB, xferOpts{compressLevel: -1}, bmPath) }()
+	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, xferOpts{compressLevel: -1}, ""); err != nil {
 		t.Fatalf("send: %v", err)
 	}
 	if err := <-recvDone; err != nil {
@@ -224,7 +222,7 @@ func TestStripedCompressedMigration(t *testing.T) {
 	}
 	d.Close()
 
-	opts := xferOpts{streams: 4, extentBlocks: 16, workers: 3, compress: true}
+	opts := xferOpts{streams: 4, extentBlocks: 16, workers: 3, compressLevel: 6, progress: true}
 	l, err := transport.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -3,19 +3,20 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"bbmig/internal/bitmap"
 	"bbmig/internal/blkback"
 	"bbmig/internal/blockdev"
-	"bbmig/internal/clock"
 	"bbmig/internal/metrics"
 	"bbmig/internal/transport"
 	"bbmig/internal/vm"
 )
 
 // This file implements the three comparison schemes the paper's related-work
-// section argues against (§II-B). They share TPM's wire protocol and
-// substrate so benchmarks compare algorithms, not implementations:
+// section argues against (§II-B). Each is a different composition of the
+// same phase pipeline and transfer substrate TPM uses (transfer.go), so
+// benchmarks compare algorithms, not implementations:
 //
 //   - Freeze-and-copy (Internet Suspend/Resume, the Collective): suspend,
 //     copy everything, resume. Downtime ≈ total migration time.
@@ -28,167 +29,157 @@ import (
 //     Write locality makes a fraction of the deltas redundant — the
 //     redundancy the block-bitmap eliminates by construction.
 
-// handshake runs the HELLO/HELLO_ACK exchange from the source side.
-func handshake(conn transport.Conn, dev blockdev.Device, mem *vm.Memory) error {
-	geom := transport.Geometry{
-		BlockSize: dev.BlockSize(), NumBlocks: dev.NumBlocks(),
-		PageSize: mem.PageSize(), NumPages: mem.NumPages(),
+// baselineReport seeds a source-side report with the host's geometry.
+func baselineReport(scheme string, host Host) *metrics.Report {
+	dev := host.Backend.Device()
+	mem := host.VM.Memory()
+	return &metrics.Report{
+		Scheme:      scheme,
+		DiskBytes:   blockdev.Capacity(dev),
+		MemoryBytes: int64(mem.NumPages()) * int64(mem.PageSize()),
 	}
-	gb, err := geom.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	if err := conn.Send(transport.Message{Type: transport.MsgHello, Arg: transport.ProtocolVersion, Payload: gb}); err != nil {
-		return err
-	}
-	ack, err := conn.Recv()
-	if err != nil {
-		return fmt.Errorf("core: waiting for hello ack: %w", err)
-	}
-	if ack.Type != transport.MsgHelloAck {
-		return fmt.Errorf("core: unexpected handshake reply %v", ack.Type)
-	}
-	return nil
 }
 
-// acceptHandshake runs the destination side of the handshake, validating
-// geometry against the prepared resources.
-func acceptHandshake(conn transport.Conn, dev blockdev.Device, mem *vm.Memory) error {
-	hello, err := conn.Recv()
-	if err != nil {
-		return fmt.Errorf("core: waiting for hello: %w", err)
+// awaitDone consumes destination→source notifications until MsgDone,
+// recording the downtime when MsgResumed arrives. serve, when non-nil,
+// handles scheme-specific frames (the on-demand pull service).
+func awaitDone(t *transfer, rep *metrics.Report, freezeStart *time.Duration, serve frameHandlers) error {
+	for {
+		m, err := t.conn.Recv()
+		if err != nil {
+			return err
+		}
+		t.noteWire()
+		switch m.Type {
+		case transport.MsgResumed:
+			rep.Downtime = t.clk.Now() - *freezeStart
+			t.ev.resumed()
+		case transport.MsgDone:
+			return nil
+		case transport.MsgError:
+			return fmt.Errorf("core: destination error: %s", m.Payload)
+		default:
+			fn, ok := serve[m.Type]
+			if !ok || fn == nil {
+				return fmt.Errorf("core: unexpected %v", m.Type)
+			}
+			if err := fn(m); err != nil {
+				return err
+			}
+		}
 	}
-	if hello.Type != transport.MsgHello {
-		return fmt.Errorf("core: expected HELLO, got %v", hello.Type)
-	}
-	var geom transport.Geometry
-	if err := geom.UnmarshalBinary(hello.Payload); err != nil {
-		return err
-	}
-	if geom.BlockSize != dev.BlockSize() || geom.NumBlocks != dev.NumBlocks() ||
-		geom.PageSize != mem.PageSize() || geom.NumPages != mem.NumPages() {
-		return fmt.Errorf("core: geometry mismatch: %+v", geom)
-	}
-	return conn.Send(transport.Message{Type: transport.MsgHelloAck})
 }
 
 // --- Freeze-and-copy ---
 
 // MigrateFreezeAndCopySource migrates by suspending the VM for the entire
-// transfer. The report's Downtime ≈ TotalTime, the defect that motivates
-// live migration.
+// transfer: a pipeline of just handshake and freeze-and-copy, with the whole
+// disk and memory moved inside the freeze. The report's Downtime ≈
+// TotalTime, the defect that motivates live migration.
 func MigrateFreezeAndCopySource(cfg Config, host Host, conn transport.Conn) (*metrics.Report, error) {
 	cfg = cfg.withDefaults()
-	clk := cfg.Clock
-	meter := transport.NewMeter(conn)
+	t, err := newTransfer(cfg, host, conn, "freeze-and-copy", "source")
+	if err != nil {
+		return baselineReport("freeze-and-copy", host), err
+	}
+	rep := baselineReport("freeze-and-copy", host)
 	dev := host.Backend.Device()
 	mem := host.VM.Memory()
-	rep := &metrics.Report{
-		Scheme:      "freeze-and-copy",
-		DiskBytes:   blockdev.Capacity(dev),
-		MemoryBytes: int64(mem.NumPages()) * int64(mem.PageSize()),
-	}
-	start := clk.Now()
-	if err := handshake(meter, dev, mem); err != nil {
-		return rep, err
-	}
-	if cfg.OnFreeze != nil {
-		cfg.OnFreeze()
-	}
-	if err := host.VM.Suspend(); err != nil {
-		return rep, err
-	}
-	freezeStart := clk.Now()
-	if err := meter.Send(transport.Message{Type: transport.MsgSuspend}); err != nil {
-		return rep, err
-	}
-	// Whole disk, whole memory, CPU — one copy and only one copy.
-	s := &sourceRun{cfg: cfg, host: host, clk: clk, conn: meter, meter: meter}
-	sent, bytes, err := s.sendBlocks(bitmap.NewAllSet(dev.NumBlocks()))
+	var freezeStart time.Duration
+
+	err = t.runPhases(
+		phase{PhaseHandshake, t.handshake},
+		phase{PhaseFreezeCopy, func() error {
+			if cfg.OnFreeze != nil {
+				cfg.OnFreeze()
+			}
+			if err := host.VM.Suspend(); err != nil {
+				return err
+			}
+			t.ev.suspended()
+			freezeStart = t.clk.Now()
+			if err := t.send(transport.Message{Type: transport.MsgSuspend}, false); err != nil {
+				return err
+			}
+			// Whole disk, whole memory, CPU — one copy and only one copy.
+			// Never paced: the entire transfer is downtime, and the paper
+			// caps only pre-copy bandwidth.
+			sent, bytes, err := t.sendBlocks(bitmap.NewAllSet(dev.NumBlocks()), PhaseFreezeCopy, false)
+			if err != nil {
+				return err
+			}
+			rep.DiskIterations = []metrics.Iteration{{Index: 1, Units: sent, Bytes: bytes, Duration: t.clk.Now() - freezeStart}}
+			nPages, pBytes, err := t.sendPages(bitmap.NewAllSet(mem.NumPages()), false)
+			if err != nil {
+				return err
+			}
+			rep.MemIterations = []metrics.Iteration{{Index: 1, Units: nPages, Bytes: pBytes}}
+			cpu := host.VM.CPU()
+			if err := t.send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}, false); err != nil {
+				return err
+			}
+			if err := t.send(transport.Message{Type: transport.MsgResume}, false); err != nil {
+				return err
+			}
+			return awaitDone(t, rep, &freezeStart, nil)
+		}},
+	)
+	t.ev.finish(err)
 	if err != nil {
 		return rep, err
 	}
-	rep.DiskIterations = []metrics.Iteration{{Index: 1, Units: sent, Bytes: bytes, Duration: clk.Now() - freezeStart}}
-	nPages, pBytes, err := s.sendPages(bitmap.NewAllSet(mem.NumPages()), false)
-	if err != nil {
-		return rep, err
-	}
-	rep.MemIterations = []metrics.Iteration{{Index: 1, Units: nPages, Bytes: pBytes}}
-	cpu := host.VM.CPU()
-	if err := meter.Send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}); err != nil {
-		return rep, err
-	}
-	if err := meter.Send(transport.Message{Type: transport.MsgResume}); err != nil {
-		return rep, err
-	}
-	for {
-		m, err := meter.Recv()
-		if err != nil {
-			return rep, err
-		}
-		switch m.Type {
-		case transport.MsgResumed:
-			rep.Downtime = clk.Now() - freezeStart
-		case transport.MsgDone:
-			rep.TotalTime = clk.Now() - start
-			rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
-			host.VM.Stop()
-			return rep, nil
-		case transport.MsgError:
-			return rep, fmt.Errorf("core: destination error: %s", m.Payload)
-		default:
-			return rep, fmt.Errorf("core: unexpected %v", m.Type)
-		}
-	}
+	rep.TotalTime = t.clk.Now() - t.start
+	rep.MigratedBytes = t.meter.BytesSent() + t.meter.BytesReceived()
+	host.VM.Stop()
+	return rep, nil
 }
 
 // MigrateFreezeAndCopyDest receives a freeze-and-copy migration.
 func MigrateFreezeAndCopyDest(cfg Config, host Host, conn transport.Conn) (*DestResult, error) {
 	cfg = cfg.withDefaults()
-	meter := transport.NewMeter(conn)
-	dev := host.Backend.Device()
-	mem := host.VM.Memory()
+	t, err := newTransfer(cfg, host, conn, "freeze-and-copy-dest", "dest")
+	if err != nil {
+		return &DestResult{Report: &metrics.Report{Scheme: "freeze-and-copy-dest"}}, err
+	}
 	rep := &metrics.Report{Scheme: "freeze-and-copy-dest"}
 	res := &DestResult{Report: rep}
-	if err := acceptHandshake(meter, dev, mem); err != nil {
+
+	err = t.runPhases(
+		phase{PhaseHandshake, t.acceptHandshake},
+		phase{PhaseFreezeCopy, func() error {
+			return t.recvLoop(transport.MsgResume, frameHandlers{
+				transport.MsgSuspend: func(transport.Message) error {
+					t.ev.suspended()
+					return nil
+				},
+				transport.MsgBlockData: t.applyBlock,
+				transport.MsgExtent:    t.applyExtent,
+				transport.MsgMemPage:   t.applyPage,
+				transport.MsgCPUState: func(m transport.Message) error {
+					res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
+					host.VM.SetCPU(res.CPU)
+					return nil
+				},
+			})
+		}},
+		phase{PhasePostCopy, func() error {
+			if err := host.VM.Resume(); err != nil {
+				return err
+			}
+			t.ev.resumed()
+			if err := t.send(transport.Message{Type: transport.MsgResumed}, false); err != nil {
+				return err
+			}
+			return t.send(transport.Message{Type: transport.MsgDone}, false)
+		}},
+	)
+	t.ev.finish(err)
+	if err != nil {
+		_ = t.conn.Send(transport.Message{Type: transport.MsgError, Payload: []byte(err.Error())})
 		return res, err
 	}
-	for {
-		m, err := meter.Recv()
-		if err != nil {
-			return res, err
-		}
-		switch m.Type {
-		case transport.MsgSuspend:
-		case transport.MsgBlockData:
-			if err := dev.WriteBlock(int(m.Arg), m.Payload); err != nil {
-				return res, err
-			}
-		case transport.MsgMemPage:
-			if err := mem.WritePage(int(m.Arg), m.Payload); err != nil {
-				return res, err
-			}
-		case transport.MsgCPUState:
-			res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
-			host.VM.SetCPU(res.CPU)
-		case transport.MsgResume:
-			if err := host.VM.Resume(); err != nil {
-				return res, err
-			}
-			if err := meter.Send(transport.Message{Type: transport.MsgResumed}); err != nil {
-				return res, err
-			}
-			if err := meter.Send(transport.Message{Type: transport.MsgDone}); err != nil {
-				return res, err
-			}
-			rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
-			return res, nil
-		case transport.MsgError:
-			return res, fmt.Errorf("core: source error: %s", m.Payload)
-		default:
-			return res, fmt.Errorf("core: unexpected %v", m.Type)
-		}
-	}
+	rep.MigratedBytes = t.meter.BytesSent() + t.meter.BytesReceived()
+	return res, nil
 }
 
 // --- On-demand fetching ---
@@ -199,83 +190,81 @@ func MigrateFreezeAndCopyDest(cfg Config, host Host, conn transport.Conn) (*Dest
 // report's ResidualDirty is filled by the destination side.
 func MigrateOnDemandSource(cfg Config, host Host, conn transport.Conn) (*metrics.Report, error) {
 	cfg = cfg.withDefaults()
-	clk := cfg.Clock
-	meter := transport.NewMeter(conn)
+	t, err := newTransfer(cfg, host, conn, "on-demand", "source")
+	if err != nil {
+		return baselineReport("on-demand", host), err
+	}
+	rep := baselineReport("on-demand", host)
 	dev := host.Backend.Device()
 	mem := host.VM.Memory()
-	rep := &metrics.Report{
-		Scheme:      "on-demand",
-		DiskBytes:   blockdev.Capacity(dev),
-		MemoryBytes: int64(mem.NumPages()) * int64(mem.PageSize()),
-	}
-	start := clk.Now()
-	if err := handshake(meter, dev, mem); err != nil {
-		return rep, err
-	}
-	s := &sourceRun{cfg: cfg, host: host, clk: clk, conn: meter, meter: meter}
-	if err := s.memPreCopy(rep); err != nil {
-		return rep, err
-	}
-	rep.PreCopyTime = clk.Now() - start
-	if cfg.OnFreeze != nil {
-		cfg.OnFreeze()
-	}
-	freezeStart := clk.Now()
-	if err := host.VM.Suspend(); err != nil {
-		return rep, err
-	}
-	if err := meter.Send(transport.Message{Type: transport.MsgSuspend}); err != nil {
-		return rep, err
-	}
-	if _, _, err := s.sendPages(mem.SwapDirty(), false); err != nil {
-		return rep, err
-	}
-	cpu := host.VM.CPU()
-	if err := meter.Send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}); err != nil {
-		return rep, err
-	}
-	// Disk state: nothing but an all-dirty bitmap; every block is fetched
-	// on demand.
-	bm, err := bitmap.NewAllSet(dev.NumBlocks()).MarshalBinary()
+	var freezeStart time.Duration
+
+	err = t.runPhases(
+		phase{PhaseHandshake, t.handshake},
+		phase{PhaseMemPreCopy, func() error {
+			if err := t.memPreCopy(rep); err != nil {
+				return err
+			}
+			rep.PreCopyTime = t.clk.Now() - t.start
+			return nil
+		}},
+		phase{PhaseFreezeCopy, func() error {
+			if cfg.OnFreeze != nil {
+				cfg.OnFreeze()
+			}
+			freezeStart = t.clk.Now()
+			if err := host.VM.Suspend(); err != nil {
+				return err
+			}
+			t.ev.suspended()
+			if err := t.send(transport.Message{Type: transport.MsgSuspend}, false); err != nil {
+				return err
+			}
+			if _, _, err := t.sendPages(mem.SwapDirty(), false); err != nil {
+				return err
+			}
+			cpu := host.VM.CPU()
+			if err := t.send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}, false); err != nil {
+				return err
+			}
+			// Disk state: nothing but an all-dirty bitmap; every block is
+			// fetched on demand.
+			bm, err := bitmap.NewAllSet(dev.NumBlocks()).MarshalBinary()
+			if err != nil {
+				return err
+			}
+			if err := t.send(transport.Message{Type: transport.MsgBitmap, Payload: bm}, false); err != nil {
+				return err
+			}
+			return t.send(transport.Message{Type: transport.MsgResume}, false)
+		}},
+		phase{PhaseOnDemand, func() error {
+			// Serve pulls until released. No push: the dependency persists
+			// for as long as the destination keeps faulting.
+			buf := make([]byte, dev.BlockSize())
+			return awaitDone(t, rep, &freezeStart, frameHandlers{
+				transport.MsgPullRequest: func(m transport.Message) error {
+					n := int(m.Arg)
+					if err := dev.ReadBlock(n, buf); err != nil {
+						return err
+					}
+					if err := t.send(transport.Message{Type: transport.MsgBlockData, Arg: m.Arg, Payload: buf}, false); err != nil {
+						return err
+					}
+					rep.BlocksPulled++
+					t.ev.pullServed(n)
+					return nil
+				},
+			})
+		}},
+	)
+	t.ev.finish(err)
 	if err != nil {
 		return rep, err
 	}
-	if err := meter.Send(transport.Message{Type: transport.MsgBitmap, Payload: bm}); err != nil {
-		return rep, err
-	}
-	if err := meter.Send(transport.Message{Type: transport.MsgResume}); err != nil {
-		return rep, err
-	}
-	// Serve pulls until released. No push: the dependency persists for as
-	// long as the destination keeps faulting.
-	buf := make([]byte, dev.BlockSize())
-	for {
-		m, err := meter.Recv()
-		if err != nil {
-			return rep, err
-		}
-		switch m.Type {
-		case transport.MsgResumed:
-			rep.Downtime = clk.Now() - freezeStart
-		case transport.MsgPullRequest:
-			n := int(m.Arg)
-			if err := dev.ReadBlock(n, buf); err != nil {
-				return rep, err
-			}
-			if err := meter.Send(transport.Message{Type: transport.MsgBlockData, Arg: m.Arg, Payload: buf}); err != nil {
-				return rep, err
-			}
-			rep.BlocksPulled++
-		case transport.MsgDone:
-			rep.TotalTime = clk.Now() - start
-			rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
-			return rep, nil
-		case transport.MsgError:
-			return rep, fmt.Errorf("core: destination error: %s", m.Payload)
-		default:
-			return rep, fmt.Errorf("core: unexpected %v", m.Type)
-		}
-	}
+	rep.TotalTime = t.clk.Now() - t.start
+	rep.MigratedBytes = t.meter.BytesSent() + t.meter.BytesReceived()
+	return rep, nil
 }
 
 // MigrateOnDemandDest receives an on-demand migration. After resume it keeps
@@ -284,111 +273,123 @@ func MigrateOnDemandSource(cfg Config, host Host, conn transport.Conn) (*metrics
 // whose loss would take the VM down with the source).
 func MigrateOnDemandDest(cfg Config, host Host, conn transport.Conn, release <-chan struct{}) (*DestResult, error) {
 	cfg = cfg.withDefaults()
-	clk := cfg.Clock
-	meter := transport.NewMeter(conn)
-	dev := host.Backend.Device()
-	mem := host.VM.Memory()
+	t, err := newTransfer(cfg, host, conn, "on-demand-dest", "dest")
+	if err != nil {
+		return &DestResult{Report: &metrics.Report{Scheme: "on-demand-dest"}}, err
+	}
 	rep := &metrics.Report{Scheme: "on-demand-dest"}
 	res := &DestResult{Report: rep}
-	if err := acceptHandshake(meter, dev, mem); err != nil {
-		return res, err
-	}
+	mem := host.VM.Memory()
 	var transferred *bitmap.Bitmap
-receive:
-	for {
-		m, err := meter.Recv()
-		if err != nil {
-			return res, err
-		}
-		switch m.Type {
-		case transport.MsgSuspend, transport.MsgMemIterStart, transport.MsgMemIterEnd:
-		case transport.MsgMemPage:
-			if err := mem.WritePage(int(m.Arg), m.Payload); err != nil {
-				return res, err
-			}
-		case transport.MsgCPUState:
-			res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
-			host.VM.SetCPU(res.CPU)
-		case transport.MsgBitmap:
-			transferred = &bitmap.Bitmap{}
-			if err := transferred.UnmarshalBinary(m.Payload); err != nil {
-				return res, err
-			}
-		case transport.MsgResume:
-			break receive
-		case transport.MsgError:
-			return res, fmt.Errorf("core: source error: %s", m.Payload)
-		default:
-			return res, fmt.Errorf("core: unexpected %v", m.Type)
-		}
-	}
-	if transferred == nil {
-		return res, fmt.Errorf("core: source resumed without a bitmap")
-	}
-	gate := blkback.NewPostCopyGate(dev, host.VM.DomainID, transferred, func(n int) error {
-		return meter.Send(transport.Message{Type: transport.MsgPullRequest, Arg: uint64(n)})
-	}, clk)
-	res.Gate = gate
-	if err := host.VM.Resume(); err != nil {
-		return res, err
-	}
-	if cfg.OnResume != nil {
-		cfg.OnResume(gate)
-	}
-	if err := meter.Send(transport.Message{Type: transport.MsgResumed}); err != nil {
-		return res, err
-	}
-	postStart := clk.Now()
+	var gate *blkback.PostCopyGate
+	var postStart time.Duration
+	var memIter int
 
-	// Apply pulled blocks until released. Recv runs in its own goroutine so
-	// the release signal is honoured even while no traffic flows.
-	type inbound struct {
-		m   transport.Message
-		err error
-	}
-	msgCh := make(chan inbound)
-	go func() {
-		for {
-			m, err := meter.Recv()
-			select {
-			case msgCh <- inbound{m, err}:
-				if err != nil {
-					return
+	err = t.runPhases(
+		phase{PhaseHandshake, t.acceptHandshake},
+		phase{PhaseMemPreCopy, func() error {
+			return t.recvLoop(transport.MsgResume, frameHandlers{
+				transport.MsgSuspend: func(transport.Message) error {
+					t.ev.suspended()
+					return nil
+				},
+				transport.MsgMemIterStart: func(m transport.Message) error {
+					memIter = int(m.Arg)
+					return nil
+				},
+				transport.MsgMemIterEnd: func(m transport.Message) error {
+					t.ev.emit(Event{Kind: EventIterationEnd, Iteration: memIter, Units: int(m.Arg)})
+					return nil
+				},
+				transport.MsgMemPage: func(m transport.Message) error {
+					return mem.WritePage(int(m.Arg), m.Payload)
+				},
+				transport.MsgCPUState: func(m transport.Message) error {
+					res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
+					host.VM.SetCPU(res.CPU)
+					return nil
+				},
+				transport.MsgBitmap: func(m transport.Message) error {
+					transferred = &bitmap.Bitmap{}
+					return transferred.UnmarshalBinary(m.Payload)
+				},
+			})
+		}},
+		phase{PhaseOnDemand, func() error {
+			if transferred == nil {
+				return fmt.Errorf("core: source resumed without a bitmap")
+			}
+			gate = blkback.NewPostCopyGate(host.Backend.Device(), host.VM.DomainID, transferred, func(n int) error {
+				return t.conn.Send(transport.Message{Type: transport.MsgPullRequest, Arg: uint64(n)})
+			}, t.clk)
+			res.Gate = gate
+			if err := host.VM.Resume(); err != nil {
+				return err
+			}
+			t.ev.resumed()
+			if cfg.OnResume != nil {
+				cfg.OnResume(gate)
+			}
+			if err := t.send(transport.Message{Type: transport.MsgResumed}, false); err != nil {
+				return err
+			}
+			postStart = t.clk.Now()
+
+			// Apply pulled blocks until released. Recv runs in its own
+			// goroutine so the release signal is honoured even while no
+			// traffic flows.
+			type inbound struct {
+				m   transport.Message
+				err error
+			}
+			msgCh := make(chan inbound)
+			go func() {
+				for {
+					m, err := t.conn.Recv()
+					select {
+					case msgCh <- inbound{m, err}:
+						if err != nil {
+							return
+						}
+					case <-release:
+						return
+					}
 				}
-			case <-release:
-				return
-			}
-		}
-	}()
-serve:
-	for {
-		select {
-		case in := <-msgCh:
-			if in.err != nil {
-				return res, in.err
-			}
-			switch in.m.Type {
-			case transport.MsgBlockData:
-				if err := gate.ReceiveBlock(int(in.m.Arg), in.m.Payload); err != nil {
-					return res, err
+			}()
+			for {
+				select {
+				case in := <-msgCh:
+					if in.err != nil {
+						return in.err
+					}
+					t.noteWire()
+					switch in.m.Type {
+					case transport.MsgBlockData:
+						if err := gate.ReceiveBlock(int(in.m.Arg), in.m.Payload); err != nil {
+							return err
+						}
+					case transport.MsgError:
+						return fmt.Errorf("core: source error: %s", in.m.Payload)
+					default:
+						return fmt.Errorf("core: unexpected %v", in.m.Type)
+					}
+				case <-release:
+					// Fail any read still waiting on a pull: the dependency
+					// is being cut.
+					gate.Close()
+					return t.send(transport.Message{Type: transport.MsgDone}, false)
 				}
-			case transport.MsgError:
-				return res, fmt.Errorf("core: source error: %s", in.m.Payload)
-			default:
-				return res, fmt.Errorf("core: unexpected %v", in.m.Type)
 			}
-		case <-release:
-			break serve
-		}
-	}
-	// Fail any read still waiting on a pull: the dependency is being cut.
-	gate.Close()
-	if err := meter.Send(transport.Message{Type: transport.MsgDone}); err != nil {
+		}},
+	)
+	t.ev.finish(err)
+	if err != nil {
+		_ = t.conn.Send(transport.Message{Type: transport.MsgError, Payload: []byte(err.Error())})
 		return res, err
 	}
-	rep.PostCopyTime = clk.Now() - postStart
+	rep.PostCopyTime = t.clk.Now() - postStart
 	rep.ResidualDirty = gate.RemainingDirty()
-	rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
+	rep.MigratedBytes = t.meter.BytesSent() + t.meter.BytesReceived()
 	gs := gate.Stats()
 	rep.BlocksPulled = int(gs.Pulls)
 	rep.ReadStallTime = gs.ReadStallTime
@@ -445,83 +446,83 @@ func (f *DeltaForwarder) Deltas() int64 { return f.deltas.Load() }
 // The destination replays the queued deltas with guest I/O blocked.
 func MigrateDeltaSource(cfg Config, host Host, conn transport.Conn, fwd *DeltaForwarder) (*metrics.Report, error) {
 	cfg = cfg.withDefaults()
-	clk := cfg.Clock
-	meter := transport.NewMeter(conn)
+	t, err := newTransfer(cfg, host, conn, "delta-forward", "source")
+	if err != nil {
+		return baselineReport("delta-forward", host), err
+	}
+	rep := baselineReport("delta-forward", host)
 	dev := host.Backend.Device()
 	mem := host.VM.Memory()
-	rep := &metrics.Report{
-		Scheme:      "delta-forward",
-		DiskBytes:   blockdev.Capacity(dev),
-		MemoryBytes: int64(mem.NumPages()) * int64(mem.PageSize()),
-	}
-	start := clk.Now()
-	if err := handshake(meter, dev, mem); err != nil {
-		return rep, err
-	}
-	// Forward every write from now on; the full-disk pass races them, and
-	// the destination's replay-after-copy resolves the races.
-	fwd.conn = meter
-	fwd.active.Store(true)
-	s := &sourceRun{cfg: cfg, host: host, clk: clk, conn: meter, meter: meter}
-	if cfg.BandwidthLimit != clock.Unlimited {
-		s.limiter = clock.NewRateLimiter(clk, cfg.BandwidthLimit, cfg.BandwidthLimit/10)
-	}
-	iterStart := clk.Now()
-	if err := meter.Send(transport.Message{Type: transport.MsgIterStart, Arg: 1}); err != nil {
-		return rep, err
-	}
-	sent, bytes, err := s.sendBlocks(bitmap.NewAllSet(dev.NumBlocks()))
+	var freezeStart time.Duration
+
+	err = t.runPhases(
+		phase{PhaseHandshake, func() error {
+			if err := t.handshake(); err != nil {
+				return err
+			}
+			// Forward every write from now on; the full-disk pass races
+			// them, and the destination's replay-after-copy resolves the
+			// races. Deltas share the engine's metered conn.
+			fwd.conn = t.conn
+			fwd.active.Store(true)
+			return nil
+		}},
+		phase{PhaseDeltaForward, func() error {
+			iterStart := t.clk.Now()
+			if err := t.send(transport.Message{Type: transport.MsgIterStart, Arg: 1}, true); err != nil {
+				return err
+			}
+			sent, bytes, err := t.sendBlocks(bitmap.NewAllSet(dev.NumBlocks()), PhaseDeltaForward, true)
+			if err != nil {
+				return err
+			}
+			if err := t.send(transport.Message{Type: transport.MsgIterEnd, Arg: uint64(sent)}, true); err != nil {
+				return err
+			}
+			rep.DiskIterations = []metrics.Iteration{{Index: 1, Units: sent, Bytes: bytes, Duration: t.clk.Now() - iterStart}}
+			return nil
+		}},
+		phase{PhaseMemPreCopy, func() error {
+			if err := t.memPreCopy(rep); err != nil {
+				return err
+			}
+			rep.PreCopyTime = t.clk.Now() - t.start
+			return nil
+		}},
+		phase{PhaseFreezeCopy, func() error {
+			if cfg.OnFreeze != nil {
+				cfg.OnFreeze()
+			}
+			freezeStart = t.clk.Now()
+			if err := host.VM.Suspend(); err != nil {
+				return err
+			}
+			t.ev.suspended()
+			fwd.active.Store(false)
+			if err := t.send(transport.Message{Type: transport.MsgSuspend}, false); err != nil {
+				return err
+			}
+			if _, _, err := t.sendPages(mem.SwapDirty(), false); err != nil {
+				return err
+			}
+			cpu := host.VM.CPU()
+			if err := t.send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}, false); err != nil {
+				return err
+			}
+			if err := t.send(transport.Message{Type: transport.MsgResume}, false); err != nil {
+				return err
+			}
+			return awaitDone(t, rep, &freezeStart, nil)
+		}},
+	)
+	t.ev.finish(err)
 	if err != nil {
 		return rep, err
 	}
-	if err := meter.Send(transport.Message{Type: transport.MsgIterEnd, Arg: uint64(sent)}); err != nil {
-		return rep, err
-	}
-	rep.DiskIterations = []metrics.Iteration{{Index: 1, Units: sent, Bytes: bytes, Duration: clk.Now() - iterStart}}
-	if err := s.memPreCopy(rep); err != nil {
-		return rep, err
-	}
-	rep.PreCopyTime = clk.Now() - start
-	if cfg.OnFreeze != nil {
-		cfg.OnFreeze()
-	}
-	freezeStart := clk.Now()
-	if err := host.VM.Suspend(); err != nil {
-		return rep, err
-	}
-	fwd.active.Store(false)
-	if err := meter.Send(transport.Message{Type: transport.MsgSuspend}); err != nil {
-		return rep, err
-	}
-	if _, _, err := s.sendPages(mem.SwapDirty(), false); err != nil {
-		return rep, err
-	}
-	cpu := host.VM.CPU()
-	if err := meter.Send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}); err != nil {
-		return rep, err
-	}
-	if err := meter.Send(transport.Message{Type: transport.MsgResume}); err != nil {
-		return rep, err
-	}
-	for {
-		m, err := meter.Recv()
-		if err != nil {
-			return rep, err
-		}
-		switch m.Type {
-		case transport.MsgResumed:
-			rep.Downtime = clk.Now() - freezeStart
-		case transport.MsgDone:
-			rep.TotalTime = clk.Now() - start
-			rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
-			host.VM.Stop()
-			return rep, nil
-		case transport.MsgError:
-			return rep, fmt.Errorf("core: destination error: %s", m.Payload)
-		default:
-			return rep, fmt.Errorf("core: unexpected %v", m.Type)
-		}
-	}
+	rep.TotalTime = t.clk.Now() - t.start
+	rep.MigratedBytes = t.meter.BytesSent() + t.meter.BytesReceived()
+	host.VM.Stop()
+	return rep, nil
 }
 
 // MigrateDeltaDest receives a delta migration: it queues forwarded writes,
@@ -531,80 +532,83 @@ func MigrateDeltaSource(cfg Config, host Host, conn transport.Conn, fwd *DeltaFo
 // eliminates.
 func MigrateDeltaDest(cfg Config, host Host, conn transport.Conn) (*DestResult, error) {
 	cfg = cfg.withDefaults()
-	clk := cfg.Clock
-	meter := transport.NewMeter(conn)
-	dev := host.Backend.Device()
-	mem := host.VM.Memory()
+	t, err := newTransfer(cfg, host, conn, "delta-forward-dest", "dest")
+	if err != nil {
+		return &DestResult{Report: &metrics.Report{Scheme: "delta-forward-dest"}}, err
+	}
 	rep := &metrics.Report{Scheme: "delta-forward-dest"}
 	res := &DestResult{Report: rep}
-	if err := acceptHandshake(meter, dev, mem); err != nil {
-		return res, err
-	}
+	dev := host.Backend.Device()
 	type delta struct {
 		block int
 		data  []byte
 	}
 	var queue []delta
 	seen := make(map[int]int)
-receive:
-	for {
-		m, err := meter.Recv()
-		if err != nil {
-			return res, err
-		}
-		switch m.Type {
-		case transport.MsgIterStart, transport.MsgIterEnd,
-			transport.MsgMemIterStart, transport.MsgMemIterEnd, transport.MsgSuspend:
-		case transport.MsgBlockData:
-			if err := dev.WriteBlock(int(m.Arg), m.Payload); err != nil {
-				return res, err
+
+	err = t.runPhases(
+		phase{PhaseHandshake, t.acceptHandshake},
+		phase{PhaseDeltaForward, func() error {
+			return t.recvLoop(transport.MsgResume, frameHandlers{
+				transport.MsgIterStart:    nil,
+				transport.MsgIterEnd:      nil,
+				transport.MsgMemIterStart: nil,
+				transport.MsgMemIterEnd:   nil,
+				transport.MsgSuspend: func(transport.Message) error {
+					t.ev.suspended()
+					return nil
+				},
+				transport.MsgBlockData: t.applyBlock,
+				transport.MsgExtent:    t.applyExtent,
+				transport.MsgDelta: func(m transport.Message) error {
+					queue = append(queue, delta{block: int(m.Arg), data: m.Payload})
+					seen[int(m.Arg)]++
+					return nil
+				},
+				transport.MsgMemPage: t.applyPage,
+				transport.MsgCPUState: func(m transport.Message) error {
+					res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
+					host.VM.SetCPU(res.CPU)
+					return nil
+				},
+			})
+		}},
+		phase{PhaseDeltaReplay, func() error {
+			// Resume, then replay with I/O blocked (Bradford: "all the write
+			// accesses must be blocked before all forwarded deltas are
+			// applied").
+			if err := host.VM.Resume(); err != nil {
+				return err
 			}
-		case transport.MsgDelta:
-			queue = append(queue, delta{block: int(m.Arg), data: m.Payload})
-			seen[int(m.Arg)]++
-		case transport.MsgMemPage:
-			if err := mem.WritePage(int(m.Arg), m.Payload); err != nil {
-				return res, err
+			t.ev.resumed()
+			if err := t.send(transport.Message{Type: transport.MsgResumed}, false); err != nil {
+				return err
 			}
-		case transport.MsgCPUState:
-			res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
-			host.VM.SetCPU(res.CPU)
-		case transport.MsgResume:
-			break receive
-		case transport.MsgError:
-			return res, fmt.Errorf("core: source error: %s", m.Payload)
-		default:
-			return res, fmt.Errorf("core: unexpected %v", m.Type)
-		}
-	}
-	// Resume, then replay with I/O blocked (Bradford: "all the write
-	// accesses must be blocked before all forwarded deltas are applied").
-	if err := host.VM.Resume(); err != nil {
+			replayStart := t.clk.Now()
+			for _, d := range queue {
+				if err := dev.WriteBlock(d.block, d.data); err != nil {
+					return err
+				}
+			}
+			rep.IOBlockedTime = t.clk.Now() - replayStart
+			redundant := 0
+			for _, c := range seen {
+				if c > 1 {
+					redundant += c - 1
+				}
+			}
+			rep.StalePushes = redundant // redundant deltas play the same role
+			if cfg.OnResume != nil {
+				cfg.OnResume(nil) // I/O may flow again; no gate needed
+			}
+			return t.send(transport.Message{Type: transport.MsgDone}, false)
+		}},
+	)
+	t.ev.finish(err)
+	if err != nil {
+		_ = t.conn.Send(transport.Message{Type: transport.MsgError, Payload: []byte(err.Error())})
 		return res, err
 	}
-	if err := meter.Send(transport.Message{Type: transport.MsgResumed}); err != nil {
-		return res, err
-	}
-	replayStart := clk.Now()
-	for _, d := range queue {
-		if err := dev.WriteBlock(d.block, d.data); err != nil {
-			return res, err
-		}
-	}
-	rep.IOBlockedTime = clk.Now() - replayStart
-	redundant := 0
-	for _, c := range seen {
-		if c > 1 {
-			redundant += c - 1
-		}
-	}
-	rep.StalePushes = redundant // redundant deltas play the same role
-	if cfg.OnResume != nil {
-		cfg.OnResume(nil) // I/O may flow again; no gate needed
-	}
-	if err := meter.Send(transport.Message{Type: transport.MsgDone}); err != nil {
-		return res, err
-	}
-	rep.MigratedBytes = meter.BytesSent() + meter.BytesReceived()
+	rep.MigratedBytes = t.meter.BytesSent() + t.meter.BytesReceived()
 	return res, nil
 }

@@ -42,6 +42,15 @@ const (
 )
 
 // Config parameterizes a migration.
+//
+// Two fields are negotiated — both endpoints must agree or the handshake
+// fails: Streams (the striped connection count) and CompressLevel (the
+// stream compression setting). The hostd layer negotiates both automatically
+// through its announce frame; raw engine users (cmd/bbmig, tests) must pass
+// matching values on both sides. Every other field is local-only: stop
+// conditions, Workers, MaxExtentBlocks, BandwidthLimit, Policy, and the
+// OnEvent/OnFreeze/OnResume hooks all produce frames any destination
+// accepts.
 type Config struct {
 	// Clock paces and measures the run. Nil defaults to a wall clock.
 	Clock clock.Clock
@@ -82,6 +91,30 @@ type Config struct {
 	// reordering is safe; iteration boundaries remain synchronization
 	// points.
 	Workers int
+
+	// CompressLevel, when non-zero, DEFLATE-compresses the migration stream
+	// at that flate level (-1 = flate default, 1 fastest … 9 best, -2
+	// Huffman-only). Both endpoints must use the same setting — it changes
+	// the wire framing — so it is negotiated: hostd carries it in the
+	// announce frame and rejects mismatches before the engine handshake.
+	// Zero (the default) keeps the seed's uncompressed wire format.
+	CompressLevel int
+
+	// Policy owns the transfer decisions the engine otherwise freezes in
+	// constants: pre-copy stop conditions, the live extent coalescing limit,
+	// per-payload compression verdicts, and pre-copy pacing. Nil selects
+	// DefaultPolicy, which reproduces the paper's exact behavior (and, with
+	// the other knobs at their defaults, the seed wire format byte for
+	// byte). Policies are local-only: nothing they decide needs the peer's
+	// agreement. A Policy instance must not be shared between concurrent
+	// migrations.
+	Policy Policy
+
+	// OnEvent, when non-nil, receives typed progress events (phase
+	// transitions, iteration ends, byte heartbeats, suspend/resume, pull
+	// service) as the migration runs. May be invoked concurrently; must not
+	// block. Local-only.
+	OnEvent EventFunc
 
 	// SkipUnused elides never-written blocks from the first pre-copy
 	// iteration when the source device reports its allocation map
@@ -134,6 +167,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = DefaultWorkers
+	}
+	if c.CompressLevel < -2 {
+		c.CompressLevel = -2
+	}
+	if c.CompressLevel > 9 {
+		c.CompressLevel = 9
+	}
+	if c.Policy == nil {
+		c.Policy = DefaultPolicy{}
 	}
 	return c
 }

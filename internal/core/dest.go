@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"bbmig/internal/bitmap"
 	"bbmig/internal/blkback"
@@ -25,180 +26,190 @@ type DestResult struct {
 // provides the prepared VBD (via its Backend) and the VM shell that will
 // receive memory, CPU state, and eventually run. The function returns once
 // the local disk is fully synchronized with the (now stopped) source.
+//
+// Like the source, the destination is a phase pipeline — handshake, pre-copy
+// receive, post-copy — announced on cfg.OnEvent, so a host daemon can report
+// the live state of an inbound migration.
 func MigrateDest(cfg Config, host Host, conn transport.Conn) (*DestResult, error) {
 	cfg = cfg.withDefaults()
-	d := &destRun{cfg: cfg, host: host}
-	d.meter = transport.NewMeter(conn)
-	d.conn = d.meter
-	res, err := d.run()
+	tr, err := newTransfer(cfg, host, conn, "TPM-dest", "dest")
 	if err != nil {
-		_ = d.conn.Send(transport.Message{Type: transport.MsgError, Payload: []byte(err.Error())})
+		return &DestResult{Report: &metrics.Report{Scheme: "TPM-dest"}}, err
+	}
+	d := &destRun{transfer: tr}
+	res, err := d.run()
+	tr.ev.finish(err)
+	if err != nil {
+		_ = tr.conn.Send(transport.Message{Type: transport.MsgError, Payload: []byte(err.Error())})
 		return res, err
 	}
 	return res, nil
 }
 
 type destRun struct {
-	cfg   Config
-	host  Host
-	conn  transport.Conn
-	meter *transport.Meter
-}
+	*transfer
 
-// checkExtent validates a MsgExtent frame against the prepared VBD.
-func (d *destRun) checkExtent(m transport.Message) (bitmap.Extent, error) {
-	start, count := transport.ExtentSplit(m.Arg)
-	dev := d.host.Backend.Device()
-	if count < 1 || start < 0 || start+count > dev.NumBlocks() {
-		return bitmap.Extent{}, fmt.Errorf("core: extent [%d,+%d) outside %d-block VBD", start, count, dev.NumBlocks())
-	}
-	if want := count * dev.BlockSize(); len(m.Payload) != want {
-		return bitmap.Extent{}, fmt.Errorf("core: extent [%d,+%d) payload %d bytes, want %d", start, count, len(m.Payload), want)
-	}
-	return bitmap.Extent{Start: start, Count: count}, nil
+	sc          *scatterPool
+	transferred *bitmap.Bitmap // the freeze bitmap, set during pre-copy receive
+	postStart   time.Duration
 }
 
 func (d *destRun) run() (*DestResult, error) {
-	dev := d.host.Backend.Device()
-	mem := d.host.VM.Memory()
 	rep := &metrics.Report{Scheme: "TPM-dest"}
 	res := &DestResult{Report: rep}
-	clk := d.cfg.Clock
-	start := clk.Now()
 
-	// Handshake: verify geometry against the prepared VBD and VM shell.
-	hello, err := d.conn.Recv()
-	if err != nil {
-		return res, fmt.Errorf("core: waiting for hello: %w", err)
-	}
-	if hello.Type != transport.MsgHello {
-		return res, fmt.Errorf("core: expected HELLO, got %v", hello.Type)
-	}
-	if hello.Arg != transport.ProtocolVersion {
-		return res, fmt.Errorf("core: protocol version %d, want %d", hello.Arg, transport.ProtocolVersion)
-	}
-	var geom transport.Geometry
-	if err := geom.UnmarshalBinary(hello.Payload); err != nil {
-		return res, err
-	}
-	if geom.BlockSize != dev.BlockSize() || geom.NumBlocks != dev.NumBlocks() {
-		return res, fmt.Errorf("core: source disk %dx%d, prepared VBD %dx%d",
-			geom.NumBlocks, geom.BlockSize, dev.NumBlocks(), dev.BlockSize())
-	}
-	if geom.PageSize != mem.PageSize() || geom.NumPages != mem.NumPages() {
-		return res, fmt.Errorf("core: source memory %dx%d, shell %dx%d",
-			geom.NumPages, geom.PageSize, mem.NumPages(), mem.PageSize())
-	}
-	if err := d.conn.Send(transport.Message{Type: transport.MsgHelloAck}); err != nil {
-		return res, err
-	}
-
-	// --- Pre-copy and freeze-and-copy receive loop. ---
 	// Data frames are handed to the scatter pool; every control frame drains
 	// it first, so iteration boundaries order cross-iteration rewrites
 	// exactly as the sequential loop did.
-	sc := newScatterPool(d.cfg.Workers)
-	defer sc.close()
-	var transferred *bitmap.Bitmap
-receive:
-	for {
-		m, err := d.conn.Recv()
-		if err != nil {
-			return res, fmt.Errorf("core: pre-copy receive: %w", err)
-		}
-		// Non-data frames are phase boundaries: drain the scatter pool so
-		// everything sent before the boundary is applied before it acts.
-		// (transport.IsDataFrame is the same predicate Striped stripes by.)
-		if !transport.IsDataFrame(m.Type) {
-			if err := sc.drain(); err != nil {
-				return res, err
-			}
-		}
-		switch m.Type {
-		case transport.MsgIterStart, transport.MsgIterEnd,
-			transport.MsgMemIterStart, transport.MsgMemIterEnd, transport.MsgSuspend:
-			// phase markers; nothing to apply
-		case transport.MsgBlockData:
-			n, payload := int(m.Arg), m.Payload
-			if err := sc.do(func() error {
-				if err := dev.WriteBlock(n, payload); err != nil {
-					return fmt.Errorf("core: apply block %d: %w", n, err)
-				}
-				return nil
-			}); err != nil {
-				return res, err
-			}
-		case transport.MsgExtent:
+	d.sc = newScatterPool(d.cfg.Workers)
+	defer d.sc.close()
+
+	err := d.runPhases(
+		phase{PhaseHandshake, d.acceptHandshake},
+		phase{PhaseDiskPreCopy, d.preCopyReceive},
+		phase{PhasePostCopy, func() error { return d.postCopyReceive(res) }},
+	)
+	if err != nil {
+		return res, err
+	}
+
+	gs := res.Gate.Stats()
+	rep.PostCopyTime = d.clk.Now() - d.postStart
+	rep.TotalTime = d.clk.Now() - d.start
+	rep.MigratedBytes = d.meter.BytesSent() + d.meter.BytesReceived()
+	rep.BlocksPulled = int(gs.Pulls)
+	rep.StalePushes = int(gs.StalePushes)
+	rep.ReadStallTime = gs.ReadStallTime
+	return res, nil
+}
+
+// scatterApply queues an apply on the pool (or runs it inline).
+func (d *destRun) scatterApply(fn func() error) error { return d.sc.do(fn) }
+
+// preCopyReceive applies every pre-copy and freeze-and-copy frame until the
+// source orders the resume. The destination cannot distinguish the disk,
+// memory, and freeze sub-phases more precisely than the control frames it
+// receives; the event stream reports iteration ends and the suspend as they
+// arrive.
+func (d *destRun) preCopyReceive() error {
+	hostVM := d.host.VM
+	// MsgIterStart/MsgMemIterStart carry the iteration index in Arg; keep it
+	// so the end-of-iteration event reports which iteration finished.
+	var curIter int
+	iterStart := func(m transport.Message) error {
+		curIter = int(m.Arg)
+		return nil
+	}
+	iterEnd := func(m transport.Message) error {
+		d.ev.emit(Event{Kind: EventIterationEnd, Iteration: curIter, Units: int(m.Arg)})
+		return nil
+	}
+	err := d.recvLoop(transport.MsgResume, frameHandlers{
+		transport.MsgIterStart:    d.drainOn(iterStart),
+		transport.MsgIterEnd:      d.drainOn(iterEnd),
+		transport.MsgMemIterStart: d.drainOn(iterStart),
+		transport.MsgMemIterEnd:   d.drainOn(iterEnd),
+		transport.MsgSuspend: d.drainOn(func(transport.Message) error {
+			d.ev.suspended()
+			return nil
+		}),
+		transport.MsgBlockData: func(m transport.Message) error {
+			return d.scatterApply(func() error { return d.applyBlock(m) })
+		},
+		transport.MsgExtent: func(m transport.Message) error {
 			ext, err := d.checkExtent(m)
 			if err != nil {
-				return res, err
+				return err
 			}
+			dev := d.host.Backend.Device()
 			payload, bs := m.Payload, dev.BlockSize()
-			if err := sc.do(func() error {
+			return d.scatterApply(func() error {
 				for k := 0; k < ext.Count; k++ {
 					if err := dev.WriteBlock(ext.Start+k, payload[k*bs:(k+1)*bs]); err != nil {
 						return fmt.Errorf("core: apply block %d: %w", ext.Start+k, err)
 					}
 				}
 				return nil
-			}); err != nil {
-				return res, err
+			})
+		},
+		transport.MsgMemPage: func(m transport.Message) error {
+			return d.scatterApply(func() error { return d.applyPage(m) })
+		},
+		transport.MsgCPUState: d.drainOn(func(m transport.Message) error {
+			cpu := vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
+			hostVM.SetCPU(cpu)
+			return nil
+		}),
+		transport.MsgBitmap: d.drainOn(func(m transport.Message) error {
+			d.transferred = &bitmap.Bitmap{}
+			if err := d.transferred.UnmarshalBinary(m.Payload); err != nil {
+				return fmt.Errorf("core: bitmap: %w", err)
 			}
-		case transport.MsgMemPage:
-			n, payload := int(m.Arg), m.Payload
-			if err := sc.do(func() error {
-				if err := mem.WritePage(n, payload); err != nil {
-					return fmt.Errorf("core: apply page %d: %w", n, err)
-				}
-				return nil
-			}); err != nil {
-				return res, err
-			}
-		case transport.MsgCPUState:
-			res.CPU = vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
-			d.host.VM.SetCPU(res.CPU)
-		case transport.MsgBitmap:
-			transferred = &bitmap.Bitmap{}
-			if err := transferred.UnmarshalBinary(m.Payload); err != nil {
-				return res, fmt.Errorf("core: bitmap: %w", err)
-			}
-		case transport.MsgResume:
-			break receive
-		case transport.MsgError:
-			return res, fmt.Errorf("core: source error: %s", m.Payload)
-		default:
-			return res, fmt.Errorf("core: unexpected message %v in pre-copy", m.Type)
-		}
+			return nil
+		}),
+	})
+	if err != nil {
+		return err
 	}
-	if transferred == nil {
-		return res, fmt.Errorf("core: source resumed without sending a bitmap")
+	// MsgResume is a control frame too: drain before acting on it.
+	if err := d.sc.drain(); err != nil {
+		return err
 	}
+	if d.transferred == nil {
+		return fmt.Errorf("core: source resumed without sending a bitmap")
+	}
+	return nil
+}
 
-	// --- Post-copy phase: resume the VM behind the gate. ---
-	gate := blkback.NewPostCopyGate(dev, d.host.VM.DomainID, transferred, func(n int) error {
+// drainOn wraps a control-frame handler so the scatter pool is drained
+// before it acts — everything sent before a phase boundary is applied before
+// the boundary advances. (transport.IsDataFrame is the same predicate
+// Striped stripes by; these are exactly the non-data frames.)
+func (d *destRun) drainOn(fn func(transport.Message) error) func(transport.Message) error {
+	return func(m transport.Message) error {
+		if err := d.sc.drain(); err != nil {
+			return err
+		}
+		if fn == nil {
+			return nil
+		}
+		return fn(m)
+	}
+}
+
+// postCopyReceive resumes the VM behind the gate and applies pushed/pulled
+// blocks until the source reports push completion and the gate is fully
+// synchronized.
+func (d *destRun) postCopyReceive(res *DestResult) error {
+	dev := d.host.Backend.Device()
+	// CPU was installed during pre-copy receive; surface it on the result.
+	res.CPU = d.host.VM.CPU()
+	gate := blkback.NewPostCopyGate(dev, d.host.VM.DomainID, d.transferred, func(n int) error {
 		return d.conn.Send(transport.Message{Type: transport.MsgPullRequest, Arg: uint64(n)})
-	}, clk)
+	}, d.clk)
 	res.Gate = gate
 	if err := d.host.VM.Resume(); err != nil {
-		return res, fmt.Errorf("core: resume: %w", err)
+		return fmt.Errorf("core: resume: %w", err)
 	}
+	d.ev.resumed()
 	if d.cfg.OnResume != nil {
 		d.cfg.OnResume(gate)
 	}
 	if err := d.conn.Send(transport.Message{Type: transport.MsgResumed}); err != nil {
-		return res, err
+		return err
 	}
-	postStart := clk.Now()
+	d.postStart = d.clk.Now()
 
 	// Apply pushed/pulled blocks until the source reports push completion.
 	// The scatter pool applies extents concurrently; the gate's internal
 	// locking keeps each ReceiveBlock atomic against the resumed guest's
 	// reads and writes, so the write gate stays correct under concurrency.
+	bs := dev.BlockSize()
 	pushDone := false
 	for {
 		if pushDone {
-			if err := sc.drain(); err != nil {
-				return res, err
+			if err := d.sc.drain(); err != nil {
+				return err
 			}
 			if gate.Synchronized() {
 				break
@@ -206,21 +217,22 @@ receive:
 		}
 		m, err := d.conn.Recv()
 		if err != nil {
-			return res, fmt.Errorf("core: post-copy receive: %w", err)
+			return fmt.Errorf("core: post-copy receive: %w", err)
 		}
+		d.noteWire()
 		switch m.Type {
 		case transport.MsgBlockData:
 			n, payload := int(m.Arg), m.Payload
-			if err := sc.do(func() error { return gate.ReceiveBlock(n, payload) }); err != nil {
-				return res, err
+			if err := d.scatterApply(func() error { return gate.ReceiveBlock(n, payload) }); err != nil {
+				return err
 			}
 		case transport.MsgExtent:
 			ext, err := d.checkExtent(m)
 			if err != nil {
-				return res, err
+				return err
 			}
-			payload, bs := m.Payload, dev.BlockSize()
-			if err := sc.do(func() error {
+			payload := m.Payload
+			if err := d.scatterApply(func() error {
 				for k := 0; k < ext.Count; k++ {
 					if err := gate.ReceiveBlock(ext.Start+k, payload[k*bs:(k+1)*bs]); err != nil {
 						return err
@@ -228,29 +240,18 @@ receive:
 				}
 				return nil
 			}); err != nil {
-				return res, err
+				return err
 			}
 		case transport.MsgPushDone:
-			if err := sc.drain(); err != nil {
-				return res, err
+			if err := d.sc.drain(); err != nil {
+				return err
 			}
 			pushDone = true
 		case transport.MsgError:
-			return res, fmt.Errorf("core: source error: %s", m.Payload)
+			return fmt.Errorf("core: source error: %s", m.Payload)
 		default:
-			return res, fmt.Errorf("core: unexpected message %v in post-copy", m.Type)
+			return fmt.Errorf("core: unexpected message %v in post-copy", m.Type)
 		}
 	}
-	if err := d.conn.Send(transport.Message{Type: transport.MsgDone}); err != nil {
-		return res, err
-	}
-
-	gs := gate.Stats()
-	rep.PostCopyTime = clk.Now() - postStart
-	rep.TotalTime = clk.Now() - start
-	rep.MigratedBytes = d.meter.BytesSent() + d.meter.BytesReceived()
-	rep.BlocksPulled = int(gs.Pulls)
-	rep.StalePushes = int(gs.StalePushes)
-	rep.ReadStallTime = gs.ReadStallTime
-	return res, nil
+	return d.conn.Send(transport.Message{Type: transport.MsgDone})
 }

@@ -2,13 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"bbmig/internal/bitmap"
 	"bbmig/internal/blockdev"
-	"bbmig/internal/clock"
 	"bbmig/internal/metrics"
 	"bbmig/internal/transport"
 )
@@ -18,46 +15,43 @@ import (
 // whole disk (primary migration); a bitmap from a previous migration's
 // destination gate selects incremental migration (§V).
 //
-// On success the source VM is Stopped (the paper's finite source dependency:
-// once MsgDone arrives, the source machine may be shut down) and the report
-// carries every §III-A metric the source can observe.
+// The migration is a pipeline of named phases — handshake, disk pre-copy,
+// memory pre-copy, freeze-and-copy, post-copy — each announced on
+// cfg.OnEvent. On success the source VM is Stopped (the paper's finite
+// source dependency: once MsgDone arrives, the source machine may be shut
+// down) and the report carries every §III-A metric the source can observe.
 func MigrateSource(cfg Config, host Host, conn transport.Conn, initial *bitmap.Bitmap) (*metrics.Report, error) {
 	cfg = cfg.withDefaults()
-	s := &sourceRun{cfg: cfg, host: host, clk: cfg.Clock}
-	s.meter = transport.NewMeter(conn)
-	s.conn = s.meter
-	if cfg.BandwidthLimit != clock.Unlimited {
-		s.limiter = clock.NewRateLimiter(cfg.Clock, cfg.BandwidthLimit, cfg.BandwidthLimit/10)
+	scheme := "TPM"
+	if initial != nil {
+		scheme = "IM"
 	}
+	tr, err := newTransfer(cfg, host, conn, scheme, "source")
+	if err != nil {
+		return &metrics.Report{Scheme: scheme}, err
+	}
+	s := &sourceRun{transfer: tr}
 	rep, err := s.run(initial)
+	tr.ev.finish(err)
 	if err != nil {
 		// best-effort abort notification
-		_ = s.conn.Send(transport.Message{Type: transport.MsgError, Payload: []byte(err.Error())})
+		_ = tr.conn.Send(transport.Message{Type: transport.MsgError, Payload: []byte(err.Error())})
 		return rep, err
 	}
 	return rep, nil
 }
 
 type sourceRun struct {
-	cfg     Config
-	host    Host
-	clk     clock.Clock
-	conn    transport.Conn
-	meter   *transport.Meter
-	limiter *clock.RateLimiter
+	*transfer
 
 	// post-copy coordination (set by the reader goroutine)
 	pullCh    chan int
 	resumedCh chan time.Duration // destination resume observed (clock time)
 	doneCh    chan error
-}
 
-// send transmits m, applying the pre-copy bandwidth cap when limited is true.
-func (s *sourceRun) send(m transport.Message, limited bool) error {
-	if limited && s.limiter != nil {
-		s.limiter.Wait(m.FrameSize())
-	}
-	return s.conn.Send(m)
+	// freeze-and-copy state carried between phases
+	freezeStart time.Duration
+	finalDirty  *bitmap.Bitmap
 }
 
 func (s *sourceRun) run(initial *bitmap.Bitmap) (*metrics.Report, error) {
@@ -71,107 +65,37 @@ func (s *sourceRun) run(initial *bitmap.Bitmap) (*metrics.Report, error) {
 	if initial != nil {
 		rep.Scheme = "IM"
 	}
-	start := s.clk.Now()
 
-	// Initialization: handshake, ask the destination to prepare a VBD.
-	geom := transport.Geometry{
-		BlockSize: dev.BlockSize(), NumBlocks: dev.NumBlocks(),
-		PageSize: mem.PageSize(), NumPages: mem.NumPages(),
-	}
-	gb, err := geom.MarshalBinary()
+	err := s.runPhases(
+		phase{PhaseHandshake, func() error {
+			if err := s.handshake(); err != nil {
+				return err
+			}
+			// Start the destination reader before any pull/ack traffic flows.
+			s.pullCh = make(chan int, 1024)
+			s.resumedCh = make(chan time.Duration, 1)
+			s.doneCh = make(chan error, 1)
+			go s.readLoop()
+			return nil
+		}},
+		// Pre-copy: disk first, then memory (§IV-B: "disk storage data are
+		// pre-copied before memory copying because memory dirty rate is much
+		// higher").
+		phase{PhaseDiskPreCopy, func() error { return s.diskPreCopy(rep, initial) }},
+		phase{PhaseMemPreCopy, func() error {
+			if err := s.memPreCopy(rep); err != nil {
+				return err
+			}
+			rep.PreCopyTime = s.clk.Now() - s.start
+			return nil
+		}},
+		phase{PhaseFreezeCopy, func() error { return s.freezeAndCopy(rep) }},
+		phase{PhasePostCopy, func() error { return s.postCopy(rep) }},
+	)
 	if err != nil {
 		return rep, err
 	}
-	if err := s.send(transport.Message{Type: transport.MsgHello, Arg: transport.ProtocolVersion, Payload: gb}, false); err != nil {
-		return rep, err
-	}
-	ack, err := s.conn.Recv()
-	if err != nil {
-		return rep, fmt.Errorf("core: waiting for hello ack: %w", err)
-	}
-	if ack.Type != transport.MsgHelloAck {
-		return rep, fmt.Errorf("core: unexpected handshake reply %v", ack.Type)
-	}
-
-	// Start the destination reader before any pull/ack traffic can flow.
-	s.pullCh = make(chan int, 1024)
-	s.resumedCh = make(chan time.Duration, 1)
-	s.doneCh = make(chan error, 1)
-	go s.readLoop()
-
-	// --- Pre-copy phase: disk first, then memory (§IV-B: "disk storage
-	// data are pre-copied before memory copying because memory dirty rate
-	// is much higher"). ---
-	if err := s.diskPreCopy(rep, initial); err != nil {
-		return rep, err
-	}
-	if err := s.memPreCopy(rep); err != nil {
-		return rep, err
-	}
-	rep.PreCopyTime = s.clk.Now() - start
-
-	// --- Freeze-and-copy phase. ---
-	if s.cfg.OnFreeze != nil {
-		s.cfg.OnFreeze()
-	}
-	freezeStart := s.clk.Now()
-	if err := s.host.VM.Suspend(); err != nil {
-		return rep, fmt.Errorf("core: freeze: %w", err)
-	}
-	if err := s.send(transport.Message{Type: transport.MsgSuspend}, false); err != nil {
-		return rep, err
-	}
-	// Remaining dirty memory pages and CPU state.
-	finalPages := mem.SwapDirty()
-	nPages, pageBytes, err := s.sendPages(finalPages, false)
-	if err != nil {
-		return rep, err
-	}
-	rep.MemIterations = append(rep.MemIterations, metrics.Iteration{
-		Index: len(rep.MemIterations) + 1, Units: nPages, Bytes: pageBytes,
-		Duration: s.clk.Now() - freezeStart,
-	})
-	cpu := s.host.VM.CPU()
-	if err := s.send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}, false); err != nil {
-		return rep, err
-	}
-	// The block-bitmap of all inconsistent blocks — the only disk state
-	// transferred during downtime (§IV-A-3).
-	s.host.Backend.StopTracking()
-	finalDirty := s.host.Backend.SwapDirty()
-	bmBytes, err := finalDirty.MarshalBinary()
-	if err != nil {
-		return rep, err
-	}
-	if err := s.send(transport.Message{Type: transport.MsgBitmap, Payload: bmBytes}, false); err != nil {
-		return rep, err
-	}
-	if err := s.send(transport.Message{Type: transport.MsgResume}, false); err != nil {
-		return rep, err
-	}
-	// Downtime ends when the destination reports the VM running.
-	select {
-	case at := <-s.resumedCh:
-		rep.Downtime = at - freezeStart
-	case err := <-s.doneCh:
-		if err == nil {
-			err = fmt.Errorf("core: connection closed before resume")
-		}
-		return rep, err
-	}
-
-	// --- Post-copy phase: push all blocks in the bitmap, serving pulls
-	// preferentially (§IV-A-3). ---
-	postStart := s.clk.Now()
-	if err := s.pushBlocks(rep, finalDirty); err != nil {
-		return rep, err
-	}
-	// Wait for the destination's fully-synchronized acknowledgement.
-	if err := <-s.doneCh; err != nil {
-		return rep, err
-	}
-	rep.PostCopyTime = s.clk.Now() - postStart
-	rep.TotalTime = s.clk.Now() - start
+	rep.TotalTime = s.clk.Now() - s.start
 	rep.MigratedBytes = s.meter.BytesSent() + s.meter.BytesReceived()
 
 	// Finite dependency achieved: the source copy can be shut down.
@@ -179,265 +103,91 @@ func (s *sourceRun) run(initial *bitmap.Bitmap) (*metrics.Report, error) {
 	return rep, nil
 }
 
-// diskPreCopy runs the iterative disk copy. Iteration 1 sends the initial
-// set (whole disk, or the incremental bitmap); iteration k sends the blocks
-// dirtied during iteration k-1. Stop conditions: dirty set below threshold,
-// iteration budget exhausted, or dirty rate outrunning transfer rate.
-func (s *sourceRun) diskPreCopy(rep *metrics.Report, initial *bitmap.Bitmap) error {
-	dev := s.host.Backend.Device()
-	s.host.Backend.StartTracking()
-
-	toSend := initial
-	if toSend == nil {
-		if alloc, ok := dev.(blockdev.Allocator); ok && s.cfg.SkipUnused {
-			toSend = alloc.AllocatedBitmap()
-		} else {
-			toSend = bitmap.NewAllSet(dev.NumBlocks())
-		}
-	}
-	prevSent := toSend.Count()
-	for iter := 1; ; iter++ {
-		iterStart := s.clk.Now()
-		if err := s.send(transport.Message{Type: transport.MsgIterStart, Arg: uint64(iter)}, true); err != nil {
-			return err
-		}
-		sent, bytes, err := s.sendBlocks(toSend)
-		if err != nil {
-			return err
-		}
-		if err := s.send(transport.Message{Type: transport.MsgIterEnd, Arg: uint64(sent)}, true); err != nil {
-			return err
-		}
-		iterDur := s.clk.Now() - iterStart
-		dirtyNow := s.host.Backend.DirtyCount()
-		rep.DiskIterations = append(rep.DiskIterations, metrics.Iteration{
-			Index: iter, Units: sent, Bytes: bytes, Duration: iterDur, DirtyEnd: dirtyNow,
-		})
-
-		// Stop conditions. The remaining dirty blocks stay in the backend
-		// bitmap and ride to the destination in freeze-and-copy.
-		if dirtyNow <= s.cfg.DiskDirtyThreshold {
-			return nil
-		}
-		if iter >= s.cfg.MaxDiskIters {
-			return nil
-		}
-		// Proactive stop: the dirty set stopped shrinking, so the dirty
-		// rate has caught up with the transfer rate (§IV-A-1).
-		if iter > 1 && dirtyNow >= prevSent {
-			return nil
-		}
-		prevSent = dirtyNow
-		toSend = s.host.Backend.SwapDirty()
-	}
-}
-
-// sendBlocks streams every block marked in bm and returns the count and
-// payload wire bytes. With Workers or MaxExtentBlocks above one, contiguous
-// dirty runs are coalesced into extents and pipelined through a read→send
-// worker pool; the default configuration takes the sequential per-block path
-// below, which is wire-identical to the seed protocol.
-func (s *sourceRun) sendBlocks(bm *bitmap.Bitmap) (int, int64, error) {
-	if s.cfg.Workers <= 1 && s.cfg.MaxExtentBlocks <= 1 {
-		dev := s.host.Backend.Device()
-		buf := make([]byte, dev.BlockSize())
-		sent := 0
-		var bytes int64
-		var fail error
-		bm.ForEachSet(func(n int) bool {
-			if err := dev.ReadBlock(n, buf); err != nil {
-				fail = err
-				return false
-			}
-			m := transport.Message{Type: transport.MsgBlockData, Arg: uint64(n), Payload: buf}
-			if err := s.send(m, true); err != nil {
-				fail = err
-				return false
-			}
-			sent++
-			bytes += int64(m.FrameSize())
-			return true
-		})
-		return sent, bytes, fail
-	}
-	return s.sendExtents(bm)
-}
-
-// effectiveMaxExtent bounds the configured coalescing limit by what one
-// frame may carry (MaxPayload, minus one byte for the marker a Compressed
-// decorator prepends to incompressible payloads) and what the device holds,
-// so an oversized MaxExtentBlocks can neither demand absurd staging buffers
-// nor produce unencodable frames.
-func effectiveMaxExtent(maxExt int, dev blockdev.Device) int {
-	if limit := (transport.MaxPayload - 1) / dev.BlockSize(); maxExt > limit {
-		maxExt = limit
-	}
-	if n := dev.NumBlocks(); maxExt > n {
-		maxExt = n
-	}
-	if maxExt < 1 {
-		maxExt = 1
-	}
-	return maxExt
-}
-
-// extentMessage frames one extent's data. Single-block extents keep the
-// seed's MsgBlockData form so extent coalescing alone never changes how a
-// lone block looks on the wire.
-func extentMessage(e bitmap.Extent, data []byte) transport.Message {
-	if e.Count == 1 {
-		return transport.Message{Type: transport.MsgBlockData, Arg: uint64(e.Start), Payload: data}
-	}
-	return transport.Message{Type: transport.MsgExtent, Arg: transport.ExtentArg(e.Start, e.Count), Payload: data}
-}
-
-// firstErr latches the first error a worker pool hits.
-type firstErr struct {
-	failed atomic.Bool
-	mu     sync.Mutex
-	err    error
-}
-
-func (f *firstErr) set(err error) {
-	f.mu.Lock()
-	if f.err == nil {
-		f.err = err
-		f.failed.Store(true)
-	}
-	f.mu.Unlock()
-}
-
-func (f *firstErr) get() error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.err
-}
-
-// sendExtents fans bm's coalesced extents across cfg.Workers goroutines,
-// each reading an extent from the device and sending it, so device reads,
-// optional compression, and transport writes of different extents overlap.
-// Within one iteration every block number appears at most once, so the
-// destination may apply the extents in any order; the engine's control
-// frames bound the iteration on both sides.
-func (s *sourceRun) sendExtents(bm *bitmap.Bitmap) (int, int64, error) {
-	dev := s.host.Backend.Device()
-	bs := dev.BlockSize()
-	maxExt := effectiveMaxExtent(s.cfg.MaxExtentBlocks, dev)
-	workers := s.cfg.Workers
-	jobs := make(chan bitmap.Extent, workers*2)
-	var sent, bytes atomic.Int64
-	var fail firstErr
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			buf := make([]byte, maxExt*bs)
-			for ext := range jobs {
-				if fail.failed.Load() {
-					continue // drain the queue so the producer never blocks
-				}
-				data := buf[:ext.Count*bs]
-				readOK := true
-				for k := 0; k < ext.Count; k++ {
-					if err := dev.ReadBlock(ext.Start+k, data[k*bs:(k+1)*bs]); err != nil {
-						fail.set(err)
-						readOK = false
-						break
-					}
-				}
-				if !readOK {
-					continue
-				}
-				m := extentMessage(ext, data)
-				if err := s.send(m, true); err != nil {
-					fail.set(err)
-					continue
-				}
-				sent.Add(int64(ext.Count))
-				bytes.Add(int64(m.FrameSize()))
-			}
-		}()
-	}
-	bm.ForEachExtent(maxExt, func(e bitmap.Extent) bool {
-		jobs <- e
-		return !fail.failed.Load()
-	})
-	close(jobs)
-	wg.Wait()
-	return int(sent.Load()), bytes.Load(), fail.get()
-}
-
-// memPreCopy runs the Xen-style iterative memory pre-copy: iteration 1 sends
-// every page, later iterations send pages dirtied during the previous one.
-func (s *sourceRun) memPreCopy(rep *metrics.Report) error {
+// freezeAndCopy suspends the VM and transfers the final dirty pages, CPU
+// state, and the block-bitmap of all inconsistent blocks — the only disk
+// state transferred during downtime (§IV-A-3). The phase ends when the
+// destination reports the VM running, which bounds the measured downtime.
+func (s *sourceRun) freezeAndCopy(rep *metrics.Report) error {
 	mem := s.host.VM.Memory()
-	mem.StartTracking()
-
-	toSend := bitmap.NewAllSet(mem.NumPages())
-	prevSent := toSend.Count()
-	for iter := 1; ; iter++ {
-		iterStart := s.clk.Now()
-		if err := s.send(transport.Message{Type: transport.MsgMemIterStart, Arg: uint64(iter)}, true); err != nil {
-			return err
-		}
-		sent, bytes, err := s.sendPages(toSend, true)
-		if err != nil {
-			return err
-		}
-		if err := s.send(transport.Message{Type: transport.MsgMemIterEnd, Arg: uint64(sent)}, true); err != nil {
-			return err
-		}
-		dirtyNow := mem.DirtyCount()
-		rep.MemIterations = append(rep.MemIterations, metrics.Iteration{
-			Index: iter, Units: sent, Bytes: bytes,
-			Duration: s.clk.Now() - iterStart, DirtyEnd: dirtyNow,
-		})
-		if dirtyNow <= s.cfg.MemDirtyThreshold || iter >= s.cfg.MaxMemIters {
-			return nil
-		}
-		if iter > 1 && dirtyNow >= prevSent {
-			return nil // writable working set reached; suspend handles the rest
-		}
-		prevSent = dirtyNow
-		toSend = mem.SwapDirty()
+	if s.cfg.OnFreeze != nil {
+		s.cfg.OnFreeze()
 	}
+	s.freezeStart = s.clk.Now()
+	if err := s.host.VM.Suspend(); err != nil {
+		return fmt.Errorf("core: freeze: %w", err)
+	}
+	s.ev.suspended()
+	if err := s.send(transport.Message{Type: transport.MsgSuspend}, false); err != nil {
+		return err
+	}
+	// Remaining dirty memory pages and CPU state.
+	finalPages := mem.SwapDirty()
+	nPages, pageBytes, err := s.sendPages(finalPages, false)
+	if err != nil {
+		return err
+	}
+	rep.MemIterations = append(rep.MemIterations, metrics.Iteration{
+		Index: len(rep.MemIterations) + 1, Units: nPages, Bytes: pageBytes,
+		Duration: s.clk.Now() - s.freezeStart,
+	})
+	cpu := s.host.VM.CPU()
+	if err := s.send(transport.Message{Type: transport.MsgCPUState, Payload: cpu.Registers}, false); err != nil {
+		return err
+	}
+	// The block-bitmap of all inconsistent blocks.
+	s.host.Backend.StopTracking()
+	s.finalDirty = s.host.Backend.SwapDirty()
+	bmBytes, err := s.finalDirty.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := s.send(transport.Message{Type: transport.MsgBitmap, Payload: bmBytes}, false); err != nil {
+		return err
+	}
+	if err := s.send(transport.Message{Type: transport.MsgResume}, false); err != nil {
+		return err
+	}
+	// Downtime ends when the destination reports the VM running.
+	select {
+	case at := <-s.resumedCh:
+		rep.Downtime = at - s.freezeStart
+		s.ev.resumed()
+	case err := <-s.doneCh:
+		if err == nil {
+			err = fmt.Errorf("core: connection closed before resume")
+		}
+		return err
+	}
+	return nil
 }
 
-// sendPages streams every page marked in bm.
-func (s *sourceRun) sendPages(bm *bitmap.Bitmap, limited bool) (int, int64, error) {
-	mem := s.host.VM.Memory()
-	buf := make([]byte, mem.PageSize())
-	sent := 0
-	var bytes int64
-	var fail error
-	bm.ForEachSet(func(n int) bool {
-		if err := mem.ReadPage(n, buf); err != nil {
-			fail = err
-			return false
-		}
-		m := transport.Message{Type: transport.MsgMemPage, Arg: uint64(n), Payload: buf}
-		if err := s.send(m, limited); err != nil {
-			fail = err
-			return false
-		}
-		sent++
-		bytes += int64(m.FrameSize())
-		return true
-	})
-	return sent, bytes, fail
+// postCopy pushes all blocks in the freeze bitmap, serving pulls
+// preferentially (§IV-A-3), then waits for the destination's
+// fully-synchronized acknowledgement.
+func (s *sourceRun) postCopy(rep *metrics.Report) error {
+	postStart := s.clk.Now()
+	if err := s.pushBlocks(rep, s.finalDirty); err != nil {
+		return err
+	}
+	if err := <-s.doneCh; err != nil {
+		return err
+	}
+	rep.PostCopyTime = s.clk.Now() - postStart
+	return nil
 }
 
 // pushBlocks pushes every block of bm to the destination, serving queued
 // pull requests first ("sends the pulled block preferentially"). Pull
 // replies always travel as single blocks; the background push coalesces the
-// remaining set into extents of up to MaxExtentBlocks.
+// remaining set into extents at the policy's live limit.
 func (s *sourceRun) pushBlocks(rep *metrics.Report, bm *bitmap.Bitmap) error {
 	dev := s.host.Backend.Device()
 	bs := dev.BlockSize()
-	maxExt := effectiveMaxExtent(s.cfg.MaxExtentBlocks, dev)
-	buf := make([]byte, maxExt*bs)
+	var buf []byte
 	sendExtent := func(e bitmap.Extent) error {
+		if need := e.Count * bs; cap(buf) < need {
+			buf = make([]byte, need)
+		}
 		data := buf[:e.Count*bs]
 		for k := 0; k < e.Count; k++ {
 			if err := dev.ReadBlock(e.Start+k, data[k*bs:(k+1)*bs]); err != nil {
@@ -458,13 +208,14 @@ func (s *sourceRun) pushBlocks(rep *metrics.Report, bm *bitmap.Bitmap) error {
 					}
 					remaining.Clear(n)
 					rep.BlocksPulled++
+					s.ev.pullServed(n)
 				}
 				continue
 			default:
 			}
 			break
 		}
-		ext := remaining.NextExtent(0, maxExt)
+		ext := remaining.NextExtent(0, s.extentBlocks(PhasePostCopy))
 		if ext.Count == 0 {
 			break
 		}

@@ -1,0 +1,548 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bbmig/internal/bitmap"
+	"bbmig/internal/blockdev"
+	"bbmig/internal/clock"
+	"bbmig/internal/metrics"
+	"bbmig/internal/transport"
+)
+
+// This file is the transfer substrate every migration scheme composes:
+// connection decoration (metering, negotiated compression, policy pacing),
+// the handshake, the block/extent/page send paths, the iterative pre-copy
+// scaffolding, and the destination-side frame appliers. TPM, IM, and the
+// three comparison baselines are phase pipelines over these primitives —
+// they differ in which phases they chain, not in how bytes move.
+
+// phase is one named step of a migration pipeline.
+type phase struct {
+	name string
+	run  func() error
+}
+
+// transfer is the per-endpoint substrate state.
+type transfer struct {
+	cfg     Config
+	host    Host
+	clk     clock.Clock
+	conn    transport.Conn   // engine-facing top of the decorator stack
+	meter   *transport.Meter // wire-byte accounting, closest to the raw conn
+	limiter *clock.RateLimiter
+	pol     Policy
+	ev      *emitter
+	start   time.Duration
+}
+
+// newTransfer decorates conn and assembles the substrate. cfg must already
+// have defaults applied. The decorator order is meter innermost (it counts
+// actual wire bytes) with compression above it when negotiated.
+func newTransfer(cfg Config, host Host, conn transport.Conn, scheme, side string) (*transfer, error) {
+	t := &transfer{cfg: cfg, host: host, clk: cfg.Clock, pol: cfg.Policy}
+	t.meter = transport.NewMeter(conn)
+	t.conn = t.meter
+	if cfg.CompressLevel != 0 {
+		cc, err := transport.NewCompressedPolicy(t.meter, cfg.CompressLevel, t.pol.CompressPayload, t.pol.ObserveCompression)
+		if err != nil {
+			return nil, err
+		}
+		t.conn = cc
+	}
+	if rate := t.pol.PrecopyRate(cfg.BandwidthLimit); rate != clock.Unlimited && rate > 0 {
+		t.limiter = clock.NewRateLimiter(t.clk, rate, rate/10)
+	}
+	t.ev = newEmitter(cfg.OnEvent, t.clk, scheme, side)
+	t.start = t.clk.Now()
+	return t, nil
+}
+
+// runPhases executes the pipeline, announcing each phase on the event
+// stream. The terminal Completed/Failed event is the caller's to emit
+// (via ev.finish) once scheme-specific bookkeeping is done.
+func (t *transfer) runPhases(phases ...phase) error {
+	for _, ph := range phases {
+		t.ev.phaseStart(ph.name)
+		if err := ph.run(); err != nil {
+			return err
+		}
+		t.ev.phaseEnd(ph.name)
+	}
+	return nil
+}
+
+// send transmits m, applying the pre-copy pacing cap when limited is true
+// and feeding the progress heartbeat.
+func (t *transfer) send(m transport.Message, limited bool) error {
+	if limited && t.limiter != nil {
+		t.limiter.Wait(m.FrameSize())
+	}
+	if err := t.conn.Send(m); err != nil {
+		return err
+	}
+	t.noteWire()
+	return nil
+}
+
+// noteWire feeds the progress heartbeat with the meter's view of the wire,
+// so compressed streams report actual wire bytes, consistent with
+// Report.MigratedBytes.
+func (t *transfer) noteWire() {
+	t.ev.noteBytes(t.meter.BytesSent() + t.meter.BytesReceived())
+}
+
+// handshake runs the HELLO/HELLO_ACK exchange from the source side.
+func (t *transfer) handshake() error {
+	dev := t.host.Backend.Device()
+	mem := t.host.VM.Memory()
+	geom := transport.Geometry{
+		BlockSize: dev.BlockSize(), NumBlocks: dev.NumBlocks(),
+		PageSize: mem.PageSize(), NumPages: mem.NumPages(),
+	}
+	gb, err := geom.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := t.send(transport.Message{Type: transport.MsgHello, Arg: transport.ProtocolVersion, Payload: gb}, false); err != nil {
+		return err
+	}
+	ack, err := t.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core: waiting for hello ack: %w", err)
+	}
+	if ack.Type != transport.MsgHelloAck {
+		return fmt.Errorf("core: unexpected handshake reply %v", ack.Type)
+	}
+	return nil
+}
+
+// acceptHandshake runs the destination side of the handshake, validating
+// version and geometry against the prepared VBD and VM shell.
+func (t *transfer) acceptHandshake() error {
+	dev := t.host.Backend.Device()
+	mem := t.host.VM.Memory()
+	hello, err := t.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("core: waiting for hello: %w", err)
+	}
+	if hello.Type != transport.MsgHello {
+		return fmt.Errorf("core: expected HELLO, got %v", hello.Type)
+	}
+	if hello.Arg != transport.ProtocolVersion {
+		return fmt.Errorf("core: protocol version %d, want %d", hello.Arg, transport.ProtocolVersion)
+	}
+	var geom transport.Geometry
+	if err := geom.UnmarshalBinary(hello.Payload); err != nil {
+		return err
+	}
+	if geom.BlockSize != dev.BlockSize() || geom.NumBlocks != dev.NumBlocks() {
+		return fmt.Errorf("core: source disk %dx%d, prepared VBD %dx%d",
+			geom.NumBlocks, geom.BlockSize, dev.NumBlocks(), dev.BlockSize())
+	}
+	if geom.PageSize != mem.PageSize() || geom.NumPages != mem.NumPages() {
+		return fmt.Errorf("core: source memory %dx%d, shell %dx%d",
+			geom.NumPages, geom.PageSize, mem.NumPages(), mem.PageSize())
+	}
+	return t.send(transport.Message{Type: transport.MsgHelloAck}, false)
+}
+
+// effectiveMaxExtent bounds an extent limit by what one frame may carry
+// (MaxPayload, minus one byte for the marker a Compressed decorator prepends
+// to incompressible payloads) and what the device holds, so an oversized
+// limit can neither demand absurd staging buffers nor produce unencodable
+// frames.
+func effectiveMaxExtent(maxExt int, dev blockdev.Device) int {
+	if limit := (transport.MaxPayload - 1) / dev.BlockSize(); maxExt > limit {
+		maxExt = limit
+	}
+	if n := dev.NumBlocks(); maxExt > n {
+		maxExt = n
+	}
+	if maxExt < 1 {
+		maxExt = 1
+	}
+	return maxExt
+}
+
+// extentBlocks asks the policy for the live coalescing limit and clamps it.
+func (t *transfer) extentBlocks(phase string) int {
+	return effectiveMaxExtent(t.pol.ExtentBlocks(phase, t.cfg.MaxExtentBlocks), t.host.Backend.Device())
+}
+
+// extentMessage frames one extent's data. Single-block extents keep the
+// seed's MsgBlockData form so extent coalescing alone never changes how a
+// lone block looks on the wire.
+func extentMessage(e bitmap.Extent, data []byte) transport.Message {
+	if e.Count == 1 {
+		return transport.Message{Type: transport.MsgBlockData, Arg: uint64(e.Start), Payload: data}
+	}
+	return transport.Message{Type: transport.MsgExtent, Arg: transport.ExtentArg(e.Start, e.Count), Payload: data}
+}
+
+// sendBlocks streams every block marked in bm and returns the count and
+// payload wire bytes. The path is chosen by the live policy verdict and
+// Workers: the sequential per-block path below is wire-identical to the seed
+// protocol; otherwise contiguous runs are coalesced into extents, either
+// inline or through a read→send worker pool.
+func (t *transfer) sendBlocks(bm *bitmap.Bitmap, phaseName string, limited bool) (int, int64, error) {
+	_, fixedPolicy := t.pol.(DefaultPolicy)
+	if t.cfg.Workers <= 1 && t.cfg.MaxExtentBlocks <= 1 && fixedPolicy {
+		dev := t.host.Backend.Device()
+		buf := make([]byte, dev.BlockSize())
+		sent := 0
+		var bytes int64
+		var fail error
+		bm.ForEachSet(func(n int) bool {
+			if err := dev.ReadBlock(n, buf); err != nil {
+				fail = err
+				return false
+			}
+			m := transport.Message{Type: transport.MsgBlockData, Arg: uint64(n), Payload: buf}
+			if err := t.send(m, limited); err != nil {
+				fail = err
+				return false
+			}
+			sent++
+			bytes += int64(m.FrameSize())
+			return true
+		})
+		return sent, bytes, fail
+	}
+	if t.cfg.Workers <= 1 {
+		return t.sendExtentsSeq(bm, phaseName, limited)
+	}
+	return t.sendExtentsPooled(bm, phaseName, limited)
+}
+
+// sendExtentsSeq walks bm's runs with a cursor, re-consulting the policy for
+// the coalescing limit before each extent so an adaptive policy can grow it
+// mid-iteration.
+func (t *transfer) sendExtentsSeq(bm *bitmap.Bitmap, phaseName string, limited bool) (int, int64, error) {
+	dev := t.host.Backend.Device()
+	bs := dev.BlockSize()
+	var buf []byte
+	sent := 0
+	var bytes int64
+	for pos := 0; ; {
+		maxExt := t.extentBlocks(phaseName)
+		ext := bm.NextExtent(pos, maxExt)
+		if ext.Count == 0 {
+			return sent, bytes, nil
+		}
+		if need := ext.Count * bs; cap(buf) < need {
+			buf = make([]byte, maxExt*bs)
+		}
+		data := buf[:ext.Count*bs]
+		extStart := t.clk.Now()
+		for k := 0; k < ext.Count; k++ {
+			if err := dev.ReadBlock(ext.Start+k, data[k*bs:(k+1)*bs]); err != nil {
+				return sent, bytes, err
+			}
+		}
+		m := extentMessage(ext, data)
+		if err := t.send(m, limited); err != nil {
+			return sent, bytes, err
+		}
+		t.pol.ObserveExtent(ext.Count, int64(m.FrameSize()), t.clk.Now()-extStart)
+		sent += ext.Count
+		bytes += int64(m.FrameSize())
+		pos = ext.End()
+	}
+}
+
+// firstErr latches the first error a worker pool hits.
+type firstErr struct {
+	failed atomic.Bool
+	mu     sync.Mutex
+	err    error
+}
+
+func (f *firstErr) set(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+		f.failed.Store(true)
+	}
+	f.mu.Unlock()
+}
+
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// sendExtentsPooled fans bm's coalesced extents across cfg.Workers
+// goroutines, each reading an extent from the device and sending it, so
+// device reads, optional compression, and transport writes of different
+// extents overlap. Within one iteration every block number appears at most
+// once, so the destination may apply the extents in any order; the engine's
+// control frames bound the iteration on both sides.
+func (t *transfer) sendExtentsPooled(bm *bitmap.Bitmap, phaseName string, limited bool) (int, int64, error) {
+	dev := t.host.Backend.Device()
+	bs := dev.BlockSize()
+	workers := t.cfg.Workers
+	jobs := make(chan bitmap.Extent, workers*2)
+	var sent, bytes atomic.Int64
+	var fail firstErr
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf []byte
+			for ext := range jobs {
+				if fail.failed.Load() {
+					continue // drain the queue so the producer never blocks
+				}
+				if need := ext.Count * bs; cap(buf) < need {
+					buf = make([]byte, need)
+				}
+				data := buf[:ext.Count*bs]
+				readOK := true
+				extStart := t.clk.Now()
+				for k := 0; k < ext.Count; k++ {
+					if err := dev.ReadBlock(ext.Start+k, data[k*bs:(k+1)*bs]); err != nil {
+						fail.set(err)
+						readOK = false
+						break
+					}
+				}
+				if !readOK {
+					continue
+				}
+				m := extentMessage(ext, data)
+				if err := t.send(m, limited); err != nil {
+					fail.set(err)
+					continue
+				}
+				t.pol.ObserveExtent(ext.Count, int64(m.FrameSize()), t.clk.Now()-extStart)
+				sent.Add(int64(ext.Count))
+				bytes.Add(int64(m.FrameSize()))
+			}
+		}()
+	}
+	for pos := 0; ; {
+		ext := bm.NextExtent(pos, t.extentBlocks(phaseName))
+		if ext.Count == 0 || fail.failed.Load() {
+			break
+		}
+		jobs <- ext
+		pos = ext.End()
+	}
+	close(jobs)
+	wg.Wait()
+	return int(sent.Load()), bytes.Load(), fail.get()
+}
+
+// sendPages streams every page marked in bm. Pages are never coalesced —
+// each MsgMemPage is its own frame, the Xen-style format.
+func (t *transfer) sendPages(bm *bitmap.Bitmap, limited bool) (int, int64, error) {
+	mem := t.host.VM.Memory()
+	buf := make([]byte, mem.PageSize())
+	sent := 0
+	var bytes int64
+	var fail error
+	bm.ForEachSet(func(n int) bool {
+		if err := mem.ReadPage(n, buf); err != nil {
+			fail = err
+			return false
+		}
+		m := transport.Message{Type: transport.MsgMemPage, Arg: uint64(n), Payload: buf}
+		if err := t.send(m, limited); err != nil {
+			fail = err
+			return false
+		}
+		sent++
+		bytes += int64(m.FrameSize())
+		return true
+	})
+	return sent, bytes, fail
+}
+
+// preCopySpec abstracts the disk/memory differences of one iterative
+// pre-copy loop: which control frames bound an iteration, how to move one
+// bitmap's worth of data, and how dirtying is observed.
+type preCopySpec struct {
+	phase              string
+	startMsg, endMsg   transport.MsgType
+	threshold, maxIter int
+	send               func(bm *bitmap.Bitmap) (int, int64, error)
+	dirtyCount         func() int
+	swapDirty          func() *bitmap.Bitmap
+	record             func(metrics.Iteration)
+}
+
+// preCopyLoop is the shared iteration scaffolding: iteration 1 sends the
+// initial set, iteration k sends what was dirtied during k-1, and the policy
+// decides when to stop. The remaining dirty set stays in the tracker for the
+// next phase.
+func (t *transfer) preCopyLoop(sp preCopySpec, initial *bitmap.Bitmap) error {
+	toSend := initial
+	prev := toSend.Count()
+	for iter := 1; ; iter++ {
+		iterStart := t.clk.Now()
+		if err := t.send(transport.Message{Type: sp.startMsg, Arg: uint64(iter)}, true); err != nil {
+			return err
+		}
+		sent, bytes, err := sp.send(toSend)
+		if err != nil {
+			return err
+		}
+		if err := t.send(transport.Message{Type: sp.endMsg, Arg: uint64(sent)}, true); err != nil {
+			return err
+		}
+		iterDur := t.clk.Now() - iterStart
+		dirtyNow := sp.dirtyCount()
+		sp.record(metrics.Iteration{
+			Index: iter, Units: sent, Bytes: bytes, Duration: iterDur, DirtyEnd: dirtyNow,
+		})
+		st := IterationStat{
+			Phase: sp.phase, Iteration: iter, Sent: sent, SentBytes: bytes,
+			Duration: iterDur, Dirty: dirtyNow, PrevDirty: prev,
+			Threshold: sp.threshold, MaxIterations: sp.maxIter,
+			MaxExtentBlocks: t.cfg.MaxExtentBlocks,
+		}
+		t.ev.iterationEnd(st)
+		if !t.pol.ContinuePreCopy(st) {
+			return nil
+		}
+		prev = dirtyNow
+		toSend = sp.swapDirty()
+	}
+}
+
+// diskPreCopy runs the iterative disk copy (§IV-A-1). Iteration 1 sends the
+// initial set (whole disk, or an incremental bitmap); iteration k sends the
+// blocks dirtied during k-1. The remaining dirty blocks stay in the backend
+// bitmap and ride to the destination in freeze-and-copy.
+func (t *transfer) diskPreCopy(rep *metrics.Report, initial *bitmap.Bitmap) error {
+	dev := t.host.Backend.Device()
+	t.host.Backend.StartTracking()
+	toSend := initial
+	if toSend == nil {
+		if alloc, ok := dev.(blockdev.Allocator); ok && t.cfg.SkipUnused {
+			toSend = alloc.AllocatedBitmap()
+		} else {
+			toSend = bitmap.NewAllSet(dev.NumBlocks())
+		}
+	}
+	return t.preCopyLoop(preCopySpec{
+		phase:    PhaseDiskPreCopy,
+		startMsg: transport.MsgIterStart, endMsg: transport.MsgIterEnd,
+		threshold: t.cfg.DiskDirtyThreshold, maxIter: t.cfg.MaxDiskIters,
+		send: func(bm *bitmap.Bitmap) (int, int64, error) {
+			return t.sendBlocks(bm, PhaseDiskPreCopy, true)
+		},
+		dirtyCount: t.host.Backend.DirtyCount,
+		swapDirty:  t.host.Backend.SwapDirty,
+		record: func(it metrics.Iteration) {
+			rep.DiskIterations = append(rep.DiskIterations, it)
+		},
+	}, toSend)
+}
+
+// memPreCopy runs the Xen-style iterative memory pre-copy: iteration 1 sends
+// every page, later iterations send pages dirtied during the previous one.
+func (t *transfer) memPreCopy(rep *metrics.Report) error {
+	mem := t.host.VM.Memory()
+	mem.StartTracking()
+	return t.preCopyLoop(preCopySpec{
+		phase:    PhaseMemPreCopy,
+		startMsg: transport.MsgMemIterStart, endMsg: transport.MsgMemIterEnd,
+		threshold: t.cfg.MemDirtyThreshold, maxIter: t.cfg.MaxMemIters,
+		send: func(bm *bitmap.Bitmap) (int, int64, error) {
+			return t.sendPages(bm, true)
+		},
+		dirtyCount: mem.DirtyCount,
+		swapDirty:  mem.SwapDirty,
+		record: func(it metrics.Iteration) {
+			rep.MemIterations = append(rep.MemIterations, it)
+		},
+	}, bitmap.NewAllSet(mem.NumPages()))
+}
+
+// --- Destination-side frame application ---
+
+// checkExtent validates a MsgExtent frame against the prepared VBD.
+func (t *transfer) checkExtent(m transport.Message) (bitmap.Extent, error) {
+	start, count := transport.ExtentSplit(m.Arg)
+	dev := t.host.Backend.Device()
+	if count < 1 || start < 0 || start+count > dev.NumBlocks() {
+		return bitmap.Extent{}, fmt.Errorf("core: extent [%d,+%d) outside %d-block VBD", start, count, dev.NumBlocks())
+	}
+	if want := count * dev.BlockSize(); len(m.Payload) != want {
+		return bitmap.Extent{}, fmt.Errorf("core: extent [%d,+%d) payload %d bytes, want %d", start, count, len(m.Payload), want)
+	}
+	return bitmap.Extent{Start: start, Count: count}, nil
+}
+
+// applyBlock writes one MsgBlockData frame to the VBD.
+func (t *transfer) applyBlock(m transport.Message) error {
+	if err := t.host.Backend.Device().WriteBlock(int(m.Arg), m.Payload); err != nil {
+		return fmt.Errorf("core: apply block %d: %w", m.Arg, err)
+	}
+	return nil
+}
+
+// applyExtent scatters one MsgExtent frame's blocks to the VBD.
+func (t *transfer) applyExtent(m transport.Message) error {
+	ext, err := t.checkExtent(m)
+	if err != nil {
+		return err
+	}
+	dev := t.host.Backend.Device()
+	bs := dev.BlockSize()
+	for k := 0; k < ext.Count; k++ {
+		if err := dev.WriteBlock(ext.Start+k, m.Payload[k*bs:(k+1)*bs]); err != nil {
+			return fmt.Errorf("core: apply block %d: %w", ext.Start+k, err)
+		}
+	}
+	return nil
+}
+
+// applyPage writes one MsgMemPage frame into the VM shell's memory.
+func (t *transfer) applyPage(m transport.Message) error {
+	if err := t.host.VM.Memory().WritePage(int(m.Arg), m.Payload); err != nil {
+		return fmt.Errorf("core: apply page %d: %w", m.Arg, err)
+	}
+	return nil
+}
+
+// frameHandlers maps message types to appliers for recvLoop. A nil handler
+// marks the type as an accepted phase marker with nothing to apply.
+type frameHandlers map[transport.MsgType]func(transport.Message) error
+
+// recvLoop receives frames, dispatching each to its handler, until the
+// `until` type arrives. MsgError frames abort with the carried cause;
+// unlisted types are protocol errors. The receive side of the byte heartbeat
+// is fed here.
+func (t *transfer) recvLoop(until transport.MsgType, handlers frameHandlers) error {
+	for {
+		m, err := t.conn.Recv()
+		if err != nil {
+			return fmt.Errorf("core: receive: %w", err)
+		}
+		t.noteWire()
+		if m.Type == until {
+			return nil
+		}
+		if m.Type == transport.MsgError {
+			return fmt.Errorf("core: source error: %s", m.Payload)
+		}
+		fn, ok := handlers[m.Type]
+		if !ok {
+			return fmt.Errorf("core: unexpected message %v", m.Type)
+		}
+		if fn == nil {
+			continue
+		}
+		if err := fn(m); err != nil {
+			return err
+		}
+	}
+}

@@ -103,20 +103,64 @@ func (d *Domain) StopWorkload() {
 type Machine struct {
 	Name string
 
-	mu       sync.Mutex
-	domains  map[string]*Domain
-	retained map[string]*blockdev.MemDisk // disks of departed domains
-	nextID   int
+	mu        sync.Mutex
+	domains   map[string]*Domain
+	retained  map[string]*blockdev.MemDisk // disks of departed domains
+	migrating map[string]*core.ProgressTracker
+	nextID    int
 }
 
 // NewMachine returns an empty Machine.
 func NewMachine(name string) *Machine {
 	return &Machine{
-		Name:     name,
-		domains:  make(map[string]*Domain),
-		retained: make(map[string]*blockdev.MemDisk),
-		nextID:   1,
+		Name:      name,
+		domains:   make(map[string]*Domain),
+		retained:  make(map[string]*blockdev.MemDisk),
+		migrating: make(map[string]*core.ProgressTracker),
+		nextID:    1,
 	}
+}
+
+// trackMigration registers a progress tracker for an in-flight migration of
+// the named domain and chains it into cfg's event stream. The returned
+// function unregisters it.
+func (m *Machine) trackMigration(name string, cfg *core.Config) func() {
+	tracker := core.NewProgressTracker()
+	cfg.OnEvent = core.ChainEvents(tracker.Handle, cfg.OnEvent)
+	m.mu.Lock()
+	m.migrating[name] = tracker
+	m.mu.Unlock()
+	return func() {
+		m.mu.Lock()
+		delete(m.migrating, name)
+		m.mu.Unlock()
+	}
+}
+
+// MigrationProgress reports the live state of an in-flight migration
+// (inbound or outbound) of the named domain: current phase, completed
+// iterations, wire bytes moved, suspend/resume milestones. ok is false when
+// no migration of that domain is running here.
+func (m *Machine) MigrationProgress(name string) (p core.Progress, ok bool) {
+	m.mu.Lock()
+	t := m.migrating[name]
+	m.mu.Unlock()
+	if t == nil {
+		return core.Progress{}, false
+	}
+	return t.Snapshot(), true
+}
+
+// ActiveMigrations lists the domains currently migrating to or from this
+// machine.
+func (m *Machine) ActiveMigrations() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.migrating))
+	for n := range m.migrating {
+		names = append(names, n)
+	}
+	return names
 }
 
 // Domains lists the names of the domains currently hosted here.
@@ -166,15 +210,31 @@ func (m *Machine) CreateDomain(name string, blocks, pages int, kind workload.Kin
 	return d, nil
 }
 
-// announce is the first MsgAnnounce payload: identity, geometry, and the
-// transport stream count the sender will open.
+// clampCompress bounds a flate level to the engine's accepted range
+// (core.Config applies the same bounds), so the one-byte announce encoding
+// and the receiver's mismatch check see the value the engines will run.
+func clampCompress(level int) int {
+	if level < -2 {
+		return -2
+	}
+	if level > 9 {
+		return 9
+	}
+	return level
+}
+
+// announce is the first MsgAnnounce payload: identity, geometry, the
+// transport stream count the sender will open, and the stream compression
+// level both engines must use (negotiated here so a mismatch fails the
+// handshake instead of corrupting the stream).
 type announce struct {
-	name    string
-	srcHost string
-	geom    transport.Geometry
-	kind    workload.Kind
-	work    bool
-	streams int
+	name     string
+	srcHost  string
+	geom     transport.Geometry
+	kind     workload.Kind
+	work     bool
+	streams  int
+	compress int
 }
 
 func (a announce) marshal() ([]byte, error) {
@@ -189,7 +249,8 @@ func (a announce) marshal() ([]byte, error) {
 	if a.work {
 		out[5] = 1
 	}
-	out[6] = byte(a.streams) // 0 reads as 1: pre-striping senders
+	out[6] = byte(a.streams)        // 0 reads as 1: pre-striping senders
+	out[7] = byte(int8(a.compress)) // flate level, -2..9; 0 = uncompressed
 	out = append(out, a.name...)
 	out = append(out, a.srcHost...)
 	out = append(out, gb...)
@@ -209,6 +270,7 @@ func unmarshalAnnounce(data []byte) (announce, error) {
 	if a.streams < 1 {
 		a.streams = 1
 	}
+	a.compress = int(int8(data[7]))
 	const geomLen = 32
 	if len(data) != 8+nameLen+srcLen+geomLen {
 		return a, fmt.Errorf("hostd: announce length %d inconsistent", len(data))
@@ -250,9 +312,10 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 			BlockSize: d.disk.BlockSize(), NumBlocks: d.disk.NumBlocks(),
 			PageSize: mem.PageSize(), NumPages: mem.NumPages(),
 		},
-		kind:    d.workKind,
-		work:    d.hasWork,
-		streams: streams,
+		kind:     d.workKind,
+		work:     d.hasWork,
+		streams:  streams,
+		compress: clampCompress(cfg.CompressLevel),
 	}
 	ab, err := ann.marshal()
 	if err != nil {
@@ -287,6 +350,8 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 		d.StopWorkload()
 		d.router.Freeze()
 	}
+	untrack := m.trackMigration(domainName, &cfg)
+	defer untrack()
 	rep, err := core.MigrateSource(cfg, core.Host{VM: d.vmRef, Backend: d.backend}, conn, d.backend.SwapDirty())
 	if err != nil {
 		// The guest must keep running here on failure.
@@ -355,6 +420,14 @@ func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config
 		}
 		conn, *connp = striped, striped
 	}
+	// Compression is negotiated by the announce: the sender names the level
+	// and a receiver configured with a conflicting one refuses before any
+	// engine frame crosses, rather than corrupting the stream. An
+	// unconfigured receiver adopts the sender's level.
+	if local := clampCompress(cfg.CompressLevel); local != 0 && local != ann.compress {
+		return nil, fmt.Errorf("hostd: compress level mismatch: sender %d, receiver %d", ann.compress, local)
+	}
+	cfg.CompressLevel = ann.compress
 
 	m.mu.Lock()
 	if _, exists := m.domains[ann.name]; exists {
@@ -393,6 +466,8 @@ func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config
 			userResume(g)
 		}
 	}
+	untrack := m.trackMigration(ann.name, &cfg)
+	defer untrack()
 	res, err := core.MigrateDest(cfg, core.Host{VM: shell, Backend: d.backend}, conn)
 	if err != nil {
 		return res, err

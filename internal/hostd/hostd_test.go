@@ -43,12 +43,13 @@ func hop(t *testing.T, src, dst *Machine, domain string) *metrics.Report {
 
 func TestAnnounceRoundTrip(t *testing.T) {
 	a := announce{
-		name:    "guest-7",
-		srcHost: "machine-A",
-		geom:    transport.Geometry{BlockSize: 4096, NumBlocks: 100, PageSize: 4096, NumPages: 50},
-		kind:    workload.Diabolic,
-		work:    true,
-		streams: 3,
+		name:     "guest-7",
+		srcHost:  "machine-A",
+		geom:     transport.Geometry{BlockSize: 4096, NumBlocks: 100, PageSize: 4096, NumPages: 50},
+		kind:     workload.Diabolic,
+		work:     true,
+		streams:  3,
+		compress: -1,
 	}
 	data, err := a.marshal()
 	if err != nil {
@@ -309,5 +310,145 @@ func TestHostdStripedHop(t *testing.T) {
 	}
 	if got := dom.VM().State(); got != vm.Running {
 		t.Fatalf("received VM state %v", got)
+	}
+}
+
+// TestHostdCompressedHop negotiates stream compression through the announce
+// byte: the sender names a level, the unconfigured receiver adopts it, and
+// the migrated disk arrives intact.
+func TestHostdCompressedHop(t *testing.T) {
+	A, B := NewMachine("A"), NewMachine("B")
+	d, err := A.CreateDomain("guest", tBlocks, tPages, workload.Web, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := blockdev.NewMemDisk(tBlocks, blockdev.BlockSize)
+	buf := make([]byte, blockdev.BlockSize)
+	for i := 0; i < 400; i++ {
+		workload.FillBlock(buf, i, 3)
+		if err := d.Submit(blockdev.Request{Op: blockdev.Write, Block: i, Domain: d.VM().DomainID, Data: buf}); err != nil {
+			t.Fatal(err)
+		}
+		shadow.WriteBlock(i, buf)
+	}
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := B.ServeOne(l, core.Config{}) // receiver unconfigured: adopts
+		resCh <- err
+	}()
+	if _, err := A.MigrateOut("guest", "B", l.Addr().String(), core.Config{CompressLevel: 6}); err != nil {
+		t.Fatalf("compressed migrate out: %v", err)
+	}
+	if err := <-resCh; err != nil {
+		t.Fatalf("compressed serve: %v", err)
+	}
+	dom, ok := B.Domain("guest")
+	if !ok {
+		t.Fatal("guest not hosted on B")
+	}
+	diffs, err := blockdev.Diff(dom.Disk(), shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("compressed hop corrupted %d blocks", len(diffs))
+	}
+}
+
+// TestHostdCompressMismatchFails: a receiver pinned to a different level
+// must refuse the migration at the announce, before any engine frame.
+func TestHostdCompressMismatchFails(t *testing.T) {
+	A, B := NewMachine("A"), NewMachine("B")
+	if _, err := A.CreateDomain("guest", tBlocks, tPages, workload.Web, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := B.ServeOne(l, core.Config{CompressLevel: 9})
+		resCh <- err
+	}()
+	_, srcErr := A.MigrateOut("guest", "B", l.Addr().String(), core.Config{CompressLevel: 1})
+	dstErr := <-resCh
+	if dstErr == nil {
+		t.Fatal("receiver accepted a mismatched compress level")
+	}
+	if srcErr == nil {
+		t.Fatal("sender never noticed the refusal")
+	}
+	if d, ok := A.Domain("guest"); !ok || d.VM().State() != vm.Running {
+		t.Fatal("guest lost after refused migration")
+	}
+}
+
+// TestHostdLiveStatus queries MigrationProgress for an in-flight migration
+// from both machines: at the freeze point the outbound side must report the
+// phase and bytes moved, and the inbound side must know the migration too.
+func TestHostdLiveStatus(t *testing.T) {
+	A, B := NewMachine("A"), NewMachine("B")
+	if _, err := A.CreateDomain("guest", tBlocks, tPages, workload.Web, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := A.MigrationProgress("guest"); ok {
+		t.Fatal("idle machine reports a migration")
+	}
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := B.ServeOne(l, core.Config{})
+		resCh <- err
+	}()
+	var atFreezeA, atFreezeB core.Progress
+	var okA, okB bool
+	cfg := core.Config{OnFreeze: func() {
+		atFreezeA, okA = A.MigrationProgress("guest")
+		atFreezeB, okB = B.MigrationProgress("guest")
+	}}
+	if _, err := A.MigrateOut("guest", "B", l.Addr().String(), cfg); err != nil {
+		t.Fatalf("migrate out: %v", err)
+	}
+	if err := <-resCh; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if !okA {
+		t.Fatal("source machine had no live status at the freeze point")
+	}
+	if atFreezeA.Phase == "" || atFreezeA.Done {
+		t.Fatalf("source live status %+v", atFreezeA)
+	}
+	if atFreezeA.BytesTransferred == 0 {
+		t.Fatal("source live status reports zero bytes after the disk pre-copy")
+	}
+	if atFreezeA.Side != "source" {
+		t.Fatalf("source live status side %q", atFreezeA.Side)
+	}
+	if !okB {
+		t.Fatal("destination machine had no live status at the freeze point")
+	}
+	if atFreezeB.Side != "dest" || atFreezeB.Done {
+		t.Fatalf("dest live status %+v", atFreezeB)
+	}
+	// After completion the entries are gone.
+	if _, ok := A.MigrationProgress("guest"); ok {
+		t.Fatal("source still reports a migration after completion")
+	}
+	if _, ok := B.MigrationProgress("guest"); ok {
+		t.Fatal("dest still reports a migration after completion")
+	}
+	if n := len(A.ActiveMigrations()) + len(B.ActiveMigrations()); n != 0 {
+		t.Fatalf("%d active migrations after completion", n)
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"bbmig/internal/bitmap"
 	"bbmig/internal/blockdev"
+	"bbmig/internal/core"
 	"bbmig/internal/metrics"
 	"bbmig/internal/workload"
 )
@@ -67,6 +68,18 @@ type Params struct {
 	// the way the paper's measured effective bandwidth already does, so
 	// calibrated results are unchanged.
 	FrameLatency time.Duration
+
+	// AdaptiveExtents models core.AdaptivePolicy's slow-start extent
+	// growth: the live coalescing limit starts at MaxExtentBlocks and
+	// doubles each integration step the migration transfers, up to
+	// adaptiveExtentCap. With FrameLatency zero it changes nothing.
+	AdaptiveExtents bool
+
+	// OnEvent, when non-nil, receives the same typed progress events the
+	// real engine emits (phase transitions, iteration ends, suspend,
+	// resume, completion) on the simulated timeline — the simulator no
+	// longer needs to be inferred from its cursor position.
+	OnEvent core.EventFunc
 
 	// Engine stop conditions, mirroring core.Config.
 	MaxDiskIters           int
@@ -113,6 +126,10 @@ func Defaults(kind workload.Kind) Params {
 // frameOverhead is the per-block wire overhead (transport header).
 const frameOverhead = 13
 
+// adaptiveExtentCap bounds the modelled slow-start growth, mirroring the
+// engine-side clamp of extents to what one frame can carry.
+const adaptiveExtentCap = 1024
+
 // Result is the outcome of a simulated migration.
 type Result struct {
 	Report *metrics.Report
@@ -150,6 +167,7 @@ type sim struct {
 	memDirty float64 // expected dirty pages (analytic hot-set model)
 	memProf  workload.MemoryProfile
 	memPhase bool // memory pre-copy active: frames are single pages
+	extent   int  // live extent coalescing limit (adaptive growth)
 
 	rep        *metrics.Report
 	wSeries    metrics.Series
@@ -218,6 +236,7 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 	if initial != nil {
 		s.rep.Scheme = "IM"
 	}
+	s.extent = p.MaxExtentBlocks
 	s.wSeries = metrics.Series{Label: p.Workload.String() + " throughput", Unit: "MB/s"}
 	s.mSeries = metrics.Series{Label: "migration transfer rate", Unit: "MB/s"}
 
@@ -225,6 +244,7 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 	s.trackDirty = true // blkback starts recording before the first copy
 
 	// --- Disk pre-copy (§IV-A-1): iterative, bitmap-driven. ---
+	s.emit(core.Event{Kind: core.EventPhaseStart, Phase: core.PhaseDiskPreCopy})
 	s.preCopying = true
 	toSend := initial
 	if toSend == nil {
@@ -240,6 +260,11 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 			Bytes:    int64(sentBlocks) * blockdev.BlockSize,
 			Duration: s.now - iterStart, DirtyEnd: s.dirty.Count(),
 		})
+		s.emit(core.Event{
+			Kind: core.EventIterationEnd, Phase: core.PhaseDiskPreCopy,
+			Iteration: iter, Units: sentBlocks,
+			Bytes: int64(sentBlocks) * blockdev.BlockSize, Dirty: s.dirty.Count(),
+		})
 		dirtyNow := s.dirty.Count()
 		if dirtyNow <= p.DiskDirtyThresholdBlks || iter >= p.MaxDiskIters {
 			break
@@ -254,6 +279,7 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 	s.preCopying = false
 
 	// --- Memory pre-copy (Xen-style, analytic hot-set model). ---
+	s.emit(core.Event{Kind: core.EventPhaseStart, Phase: core.PhaseMemPreCopy})
 	s.memPreCopy()
 	s.rep.PreCopyTime = s.now - migStart
 
@@ -261,6 +287,8 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 	finalPages := s.memDirty
 	bitmapBytes := float64(numBlocks/8 + 16)
 	freezeBytes := finalPages*4096 + bitmapBytes + 4096 /* CPU state */
+	s.emit(core.Event{Kind: core.EventPhaseStart, Phase: core.PhaseFreezeCopy})
+	s.emit(core.Event{Kind: core.EventSuspended, Phase: core.PhaseFreezeCopy})
 	downtime := p.FixedDowntime + time.Duration(freezeBytes/p.NetBytesPerSec*float64(time.Second))
 	s.advanceNoDisk(downtime) // guest frozen: its I/O halts; clock moves
 	s.rep.Downtime = downtime
@@ -274,6 +302,8 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 	// --- Post-copy: resume on destination; push everything in the bitmap
 	// while guest reads pull (§IV-A-3). ---
 	s.trackFresh = true
+	s.emit(core.Event{Kind: core.EventPhaseStart, Phase: core.PhasePostCopy})
+	s.emit(core.Event{Kind: core.EventResumed, Phase: core.PhasePostCopy})
 	postStart := s.now
 	carryInit := carry.Count()
 	s.postCopy = &postCopyState{remaining: carry.Clone()}
@@ -290,6 +320,7 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 	s.postCopy = nil // synchronization complete; the dwell runs unmigrated
 	s.rep.TotalTime = s.now - migStart
 	migEnd := s.now
+	s.emit(core.Event{Kind: core.EventCompleted, Phase: core.PhasePostCopy, Bytes: s.rep.MigratedBytes})
 
 	// Amount of migrated data, using the paper's accounting: disk payloads
 	// plus the bitmap (memory reported separately in MemBytesMoved).
@@ -336,15 +367,49 @@ func minDur(a, b time.Duration) time.Duration {
 	return b
 }
 
+// emit forwards one progress event on the simulated timeline.
+func (s *sim) emit(ev core.Event) {
+	if s.p.OnEvent == nil {
+		return
+	}
+	ev.Scheme, ev.Side, ev.At = s.rep.Scheme, "source", s.now
+	s.p.OnEvent(ev)
+}
+
+// liveExtent returns the current coalescing limit: fixed, or the adaptive
+// slow-start value.
+func (s *sim) liveExtent() int {
+	if s.extent < 1 {
+		return 1
+	}
+	return s.extent
+}
+
+// growExtent advances the modelled slow start by one integration step.
+func (s *sim) growExtent() {
+	if !s.p.AdaptiveExtents || s.memPhase {
+		return
+	}
+	if s.extent < 1 {
+		s.extent = 1 // run() clamps MaxExtentBlocks, but never double from zero
+	}
+	if s.extent < adaptiveExtentCap {
+		s.extent *= 2
+		if s.extent > adaptiveExtentCap {
+			s.extent = adaptiveExtentCap
+		}
+	}
+}
+
 // migFrameBytes returns the payload+header size of one frame in the current
-// phase: disk phases coalesce up to MaxExtentBlocks blocks per frame, but
+// phase: disk phases coalesce up to the live extent limit per frame, but
 // the engine never coalesces memory pages — each MsgMemPage is its own
 // frame — so the stall amortization must not flatter the memory pre-copy.
 func (s *sim) migFrameBytes() float64 {
 	if s.memPhase {
 		return 4096 + frameOverhead
 	}
-	return float64(blockdev.BlockSize*s.p.MaxExtentBlocks + frameOverhead)
+	return float64(blockdev.BlockSize*s.liveExtent() + frameOverhead)
 }
 
 // migRate returns the migration bandwidth before disk contention. When a
@@ -364,11 +429,10 @@ func (s *sim) migRate() float64 {
 	return r
 }
 
-// perBlockWire returns the wire bytes one block costs with the configured
-// extent coalescing: the frame header is shared by up to MaxExtentBlocks
-// blocks.
+// perBlockWire returns the wire bytes one block costs with the live extent
+// coalescing: the frame header is shared by up to liveExtent blocks.
 func (s *sim) perBlockWire() float64 {
-	return blockdev.BlockSize + float64(frameOverhead)/float64(s.p.MaxExtentBlocks)
+	return blockdev.BlockSize + float64(frameOverhead)/float64(s.liveExtent())
 }
 
 // step advances one integration step of dt, returning the migration bytes
@@ -395,6 +459,9 @@ func (s *sim) step(dt time.Duration) float64 {
 	s.now += dt
 	s.wSeries.Add(s.now, wEff/1e6)
 	s.mSeries.Add(s.now, mEff/1e6)
+	if mig > 0 {
+		s.growExtent()
+	}
 	return mEff * dt.Seconds()
 }
 

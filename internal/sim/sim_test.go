@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bbmig/internal/blockdev"
+	"bbmig/internal/core"
 	"bbmig/internal/workload"
 )
 
@@ -456,5 +457,67 @@ func TestStreamSweep(t *testing.T) {
 	r := RunTPM(p)
 	if s := r.Report.TotalTime.Seconds(); s < 700 || s > 900 {
 		t.Errorf("default TPM total %.0f s left the calibrated band", s)
+	}
+}
+
+// TestSimEventStream verifies the simulator emits the engine's event
+// vocabulary in pipeline order on the virtual timeline.
+func TestSimEventStream(t *testing.T) {
+	p := Defaults(workload.Web)
+	p.DiskMB, p.MemMB = 512, 32
+	p.DwellAfter = time.Minute
+	var phases []string
+	var kinds []core.EventKind
+	var lastAt time.Duration
+	p.OnEvent = func(ev core.Event) {
+		if ev.At < lastAt {
+			t.Fatalf("event time went backwards: %v after %v", ev.At, lastAt)
+		}
+		lastAt = ev.At
+		kinds = append(kinds, ev.Kind)
+		if ev.Kind == core.EventPhaseStart {
+			phases = append(phases, ev.Phase)
+		}
+	}
+	RunTPM(p)
+	want := []string{core.PhaseDiskPreCopy, core.PhaseMemPreCopy, core.PhaseFreezeCopy, core.PhasePostCopy}
+	if strings.Join(phases, ",") != strings.Join(want, ",") {
+		t.Fatalf("phases %v, want %v", phases, want)
+	}
+	var sawIter, sawSuspend, sawResume, sawDone bool
+	for _, k := range kinds {
+		switch k {
+		case core.EventIterationEnd:
+			sawIter = true
+		case core.EventSuspended:
+			sawSuspend = true
+		case core.EventResumed:
+			sawResume = true
+		case core.EventCompleted:
+			sawDone = true
+		}
+	}
+	if !sawIter || !sawSuspend || !sawResume || !sawDone {
+		t.Fatalf("missing lifecycle events: iter=%v suspend=%v resume=%v done=%v",
+			sawIter, sawSuspend, sawResume, sawDone)
+	}
+}
+
+// TestSimAdaptiveBeatsDefault is the modeled-link acceptance scenario at
+// paper scale: with the per-frame stall modelled, the adaptive slow-start
+// must beat the fixed per-block default and land within reach of the
+// hand-tuned 64-block extent.
+func TestSimAdaptiveBeatsDefault(t *testing.T) {
+	results, _ := AdaptiveSweep(1)
+	def, fixed64, adaptive := results[0].Report, results[1].Report, results[2].Report
+	if adaptive.TotalTime >= def.TotalTime {
+		t.Fatalf("adaptive total %v not better than default %v", adaptive.TotalTime, def.TotalTime)
+	}
+	// The slow-start must recover most of the hand-tuned fixed extent's win.
+	if adaptive.TotalTime > fixed64.TotalTime*3/2 {
+		t.Fatalf("adaptive total %v far behind hand-tuned %v", adaptive.TotalTime, fixed64.TotalTime)
+	}
+	if adaptive.Downtime > 10*def.Downtime {
+		t.Fatalf("adaptive downtime regressed: %v vs %v", adaptive.Downtime, def.Downtime)
 	}
 }

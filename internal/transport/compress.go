@@ -25,7 +25,21 @@ type Compressed struct {
 	inner Conn
 	level int
 
-	mu  sync.Mutex // guards the writer/buffer across concurrent Sends
+	// decide, when non-nil, gates compression attempts per payload: a false
+	// verdict sends the payload raw (marker byte only). observe, when
+	// non-nil, receives each attempt's outcome (raw and wire sizes). Both
+	// are policy feedback hooks; the wire format is identical either way.
+	decide  func(kind MsgType, size int) bool
+	observe func(kind MsgType, rawLen, wireLen int)
+
+	// Each concurrent Send takes a compressor from the pool, so the worker
+	// pool's sends deflate different extents in parallel instead of
+	// serializing on one shared writer.
+	pool sync.Pool // *compressor
+}
+
+// compressor is one reusable flate writer + staging buffer.
+type compressor struct {
 	buf bytes.Buffer
 	fw  *flate.Writer
 }
@@ -33,15 +47,27 @@ type Compressed struct {
 // NewCompressed wraps inner at the given flate level (flate.DefaultCompression
 // if 0).
 func NewCompressed(inner Conn, level int) (*Compressed, error) {
+	return NewCompressedPolicy(inner, level, nil, nil)
+}
+
+// NewCompressedPolicy wraps inner at the given flate level with per-payload
+// policy hooks: decide gates whether a payload is worth attempting to
+// compress, observe receives each outcome. Either may be nil.
+func NewCompressedPolicy(inner Conn, level int, decide func(kind MsgType, size int) bool, observe func(kind MsgType, rawLen, wireLen int)) (*Compressed, error) {
 	if level == 0 {
 		level = flate.DefaultCompression
 	}
-	c := &Compressed{inner: inner, level: level}
-	fw, err := flate.NewWriter(&c.buf, level)
-	if err != nil {
+	// Validate the level eagerly so a bad one fails at construction, not on
+	// the first Send from a worker goroutine.
+	if _, err := flate.NewWriter(io.Discard, level); err != nil {
 		return nil, fmt.Errorf("transport: compression level %d: %w", level, err)
 	}
-	c.fw = fw
+	c := &Compressed{inner: inner, level: level, decide: decide, observe: observe}
+	c.pool.New = func() any {
+		co := &compressor{}
+		co.fw, _ = flate.NewWriter(&co.buf, level)
+		return co
+	}
 	return c, nil
 }
 
@@ -51,27 +77,37 @@ func (c *Compressed) Send(m Message) error {
 		m.Payload = []byte{compressRaw}
 		return c.inner.Send(m)
 	}
-	c.mu.Lock()
-	c.buf.Reset()
-	c.buf.WriteByte(compressDeflate)
-	c.fw.Reset(&c.buf)
-	if _, err := c.fw.Write(m.Payload); err != nil {
-		c.mu.Unlock()
+	if c.decide != nil && !c.decide(m.Type, len(m.Payload)) {
+		out := make([]byte, 0, len(m.Payload)+1)
+		out = append(out, compressRaw)
+		out = append(out, m.Payload...)
+		m.Payload = out
+		return c.inner.Send(m)
+	}
+	co := c.pool.Get().(*compressor)
+	co.buf.Reset()
+	co.buf.WriteByte(compressDeflate)
+	co.fw.Reset(&co.buf)
+	if _, err := co.fw.Write(m.Payload); err != nil {
+		c.pool.Put(co)
 		return fmt.Errorf("transport: compress: %w", err)
 	}
-	if err := c.fw.Close(); err != nil {
-		c.mu.Unlock()
+	if err := co.fw.Close(); err != nil {
+		c.pool.Put(co)
 		return fmt.Errorf("transport: compress flush: %w", err)
 	}
 	var out []byte
-	if c.buf.Len() < len(m.Payload)+1 {
-		out = append(out, c.buf.Bytes()...)
+	if co.buf.Len() < len(m.Payload)+1 {
+		out = append(out, co.buf.Bytes()...)
 	} else {
 		out = make([]byte, 0, len(m.Payload)+1)
 		out = append(out, compressRaw)
 		out = append(out, m.Payload...)
 	}
-	c.mu.Unlock()
+	c.pool.Put(co)
+	if c.observe != nil {
+		c.observe(m.Type, len(m.Payload), len(out))
+	}
 	m.Payload = out
 	return c.inner.Send(m)
 }
