@@ -65,6 +65,24 @@
 // observed shrink ratio; on a latency-bound link it recovers the hand-tuned
 // configuration's throughput without anyone picking constants.
 //
+// # Fault tolerance and resumable migration
+//
+// By default a connection failure is fatal, matching the seed protocol.
+// Setting Config.MaxRetries (with a Config.Redial callback on the source
+// and a Config.WaitReconnect callback on the destination) makes the
+// migration resumable: the handshake negotiates a session token, the source
+// checkpoints a journal (pipeline cursor + pending bitmap — the paper's
+// persistent block-bitmap put to work) at phase and iteration boundaries,
+// and on a link failure it backs off, re-dials, and exchanges a resume
+// handshake in which the destination reports exactly what it has received —
+// down to a per-iteration transfer-cursor bitmap. The source then re-enters
+// the earliest unconfirmed phase sending only the blocks still owed, so a
+// flap deep into a 40 GB transfer costs roughly the frames in flight, not a
+// restart. Config.JournalPath persists the journal so a restarted source
+// can cold-resume incrementally (cmd/bbmig -resume). Fault-free resumable
+// runs add only the token to the HELLO payload; with resumption disabled
+// the wire format is byte-identical to the seed protocol.
+//
 // # Negotiated vs local configuration
 //
 // Two Config fields change the wire framing and must match on both
@@ -147,6 +165,36 @@ var ChainEvents = core.ChainEvents
 // Bitmap is the block-bitmap used to select blocks for incremental
 // migration.
 type Bitmap = bitmap.Bitmap
+
+// RedialFunc re-establishes the source's transport after a connection
+// failure; pair with Config.MaxRetries.
+type RedialFunc = core.RedialFunc
+
+// ReconnectFunc hands the destination engine a reconnecting source's fresh
+// connection; see Config.WaitReconnect.
+type ReconnectFunc = core.ReconnectFunc
+
+// SessionToken identifies a resumable migration across reconnects.
+type SessionToken = transport.SessionToken
+
+// JournalState is one checkpoint of a resumable migration's journal.
+type JournalState = core.JournalState
+
+// Journal mirrors a resumable migration's checkpoints (optionally to disk).
+type Journal = core.Journal
+
+// LoadJournal reads a journal persisted via Config.JournalPath, for
+// cold-resuming a migration after a source restart.
+var LoadJournal = core.LoadJournal
+
+// AcceptResume parks on a listener until a connection opens with a valid
+// session-resume frame — the standard Config.WaitReconnect implementation
+// for TCP destinations.
+var AcceptResume = transport.AcceptResume
+
+// IsConnError reports whether an error is a retryable connection failure
+// (as opposed to a protocol or device error).
+var IsConnError = transport.IsConnError
 
 // NewRouter returns a Router initially routing to submit.
 var NewRouter = core.NewRouter

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// This file is the bench-regression gate: CI regenerates the BENCH_*.json
+// snapshot on every run and compares its headline throughput rows against
+// the committed baseline, failing the build on a drop larger than the
+// tolerance — so a perf regression is a red check, not an archaeology
+// exercise three PRs later.
+
+// headlinePrefix selects the benchmarks the gate enforces: the real-engine
+// modeled-link migrations. The simulator rows are deterministic metrics, not
+// throughput, and are reported but never gated.
+//
+// Caveat on cross-machine noise: the committed baseline was generated on a
+// developer machine, CI compares on a runner. The default-per-block row is
+// dominated by the modeled per-frame stall and is hardware-stable; the
+// extent/adaptive rows are partly memcpy-bound and inherit some host speed.
+// The 25% default tolerance absorbs typical ubuntu-latest variance — if the
+// gate flakes on runner churn, regenerate the baseline on CI hardware
+// rather than widening the tolerance.
+const headlinePrefix = "MigrateModeledLink/"
+
+// loadBenchFile reads a BENCH_*.json snapshot.
+func loadBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if f.Schema != "bbmig-bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, f.Schema)
+	}
+	return &f, nil
+}
+
+// mbPerSec indexes a snapshot's throughput rows by name.
+func mbPerSec(f *benchFile) map[string]float64 {
+	out := make(map[string]float64)
+	for _, b := range f.Benchmarks {
+		if b.MBPerSec > 0 {
+			out[b.Name] = b.MBPerSec
+		}
+	}
+	return out
+}
+
+// compareBench gates newPath against basePath: every headline benchmark
+// present in the baseline must be present in the new snapshot and within
+// maxRegressPct of the baseline's MB/s. Improvements and new benchmarks
+// pass freely.
+func compareBench(newPath, basePath string, maxRegressPct float64) error {
+	newFile, err := loadBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+	baseFile, err := loadBenchFile(basePath)
+	if err != nil {
+		return err
+	}
+	newRates, baseRates := mbPerSec(newFile), mbPerSec(baseFile)
+
+	var failures []string
+	checked := 0
+	for name, base := range baseRates {
+		if !strings.HasPrefix(name, headlinePrefix) {
+			continue
+		}
+		checked++
+		got, ok := newRates[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from %s", name, newPath))
+			continue
+		}
+		drop := (base - got) / base * 100
+		status := "ok"
+		if drop > maxRegressPct {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.1f MB/s vs baseline %.1f MB/s (-%.1f%%, tolerance %.0f%%)",
+					name, got, base, drop, maxRegressPct))
+		}
+		fmt.Printf("gate %-44s base %9.1f MB/s  now %9.1f MB/s  (%+.1f%%) %s\n",
+			name, base, got, -drop, status)
+	}
+	if checked == 0 {
+		return fmt.Errorf("baseline %s has no %s* benchmarks to gate against", basePath, headlinePrefix)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("bench gate passed: %d headline benchmarks within %.0f%% of %s\n", checked, maxRegressPct, basePath)
+	return nil
+}

@@ -13,6 +13,7 @@
 //	bbench -exp schemes     §II       — all four schemes, one table
 //	bbench -exp availability §II-B    — on-demand fetching availability p²
 //	bbench -exp adaptive    transfer-policy sweep on a latency-modelled link
+//	bbench -exp faults      link-outage sweep: resumable migration vs restart
 //	bbench -exp all         everything above
 //
 // In addition, -json FILE runs the machine-readable benchmark suite (real
@@ -20,6 +21,12 @@
 // simulator's headline numbers) and writes a BENCH_*.json snapshot:
 //
 //	bbench -json BENCH_engine.json
+//
+// With -compare BASE the freshly written snapshot is checked against a
+// committed baseline and the run fails when a headline modeled-link
+// throughput drops by more than -max-regress percent — the CI perf gate:
+//
+//	bbench -json /tmp/new.json -compare BENCH_engine.json -max-regress 25
 package main
 
 import (
@@ -36,10 +43,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|fig5|fig6|iters|locality|granularity|availability|adaptive|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|fig5|fig6|iters|locality|granularity|availability|adaptive|faults|all)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	samples := flag.Int("samples", 40, "series rows to print for figures")
 	jsonOut := flag.String("json", "", "run the machine-readable benchmark suite and write BENCH_*.json here")
+	compare := flag.String("compare", "", "baseline BENCH_*.json to gate the fresh -json snapshot against")
+	maxRegress := flag.Float64("max-regress", 25, "max tolerated headline throughput drop vs -compare, in percent")
 	flag.Parse()
 
 	if *jsonOut != "" {
@@ -47,7 +56,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bbench: %v\n", err)
 			os.Exit(1)
 		}
+		if *compare != "" {
+			if err := compareBench(*jsonOut, *compare, *maxRegress); err != nil {
+				fmt.Fprintf(os.Stderr, "bbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
+	}
+	if *compare != "" {
+		fmt.Fprintln(os.Stderr, "bbench: -compare requires -json")
+		os.Exit(2)
 	}
 
 	run := map[string]func(int64, int){
@@ -63,9 +82,10 @@ func main() {
 		"downtime-granularity": downtimeGranularity,
 		"schemes":              schemes,
 		"adaptive":             adaptive,
+		"faults":               faults,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "fig5", "fig6", "iters", "locality", "granularity", "downtime-granularity", "schemes", "availability", "adaptive"} {
+		for _, name := range []string{"table1", "table2", "table3", "fig5", "fig6", "iters", "locality", "granularity", "downtime-granularity", "schemes", "availability", "adaptive", "faults"} {
 			run[name](*seed, *samples)
 			fmt.Println()
 		}
@@ -181,6 +201,12 @@ func adaptive(seed int64, _ int) {
 	_, tab := sim.AdaptiveSweep(seed)
 	fmt.Print(tab.String())
 	fmt.Println("adaptive slow-start must close most of the gap to the hand-tuned extent without configuration")
+}
+
+func faults(seed int64, _ int) {
+	_, tab := sim.FaultSweep(seed)
+	fmt.Print(tab.String())
+	fmt.Println("cursor-exact resume re-sends only the in-flight window; restarting wastes everything before the cut")
 }
 
 func availability(_ int64, _ int) {

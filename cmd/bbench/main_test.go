@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
 
 // TestExperimentPrintersRun smoke-runs every experiment printer except the
 // slow Table III microbenchmark; each must complete without panicking.
@@ -25,4 +29,95 @@ func TestExperimentPrintersRun(t *testing.T) {
 			fn(1, 5)
 		})
 	}
+}
+
+// writeSnapshot writes a minimal BENCH_*.json for comparator tests.
+func writeSnapshot(t *testing.T, path string, rates map[string]float64) {
+	t.Helper()
+	f := benchFile{Schema: "bbmig-bench/v1"}
+	for name, mbps := range rates {
+		f.Benchmarks = append(f.Benchmarks, benchResult{Name: name, MBPerSec: mbps})
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareBenchGate covers the regression comparator: within-tolerance
+// drops and improvements pass, beyond-tolerance drops and missing headline
+// rows fail, and non-headline rows are ignored.
+func TestCompareBenchGate(t *testing.T) {
+	dir := t.TempDir()
+	base := dir + "/base.json"
+	writeSnapshot(t, base, map[string]float64{
+		"MigrateModeledLink/default-per-block": 100,
+		"MigrateModeledLink/adaptive-policy":   1000,
+		"SomethingElse/unrelated":              50,
+	})
+
+	ok := dir + "/ok.json"
+	writeSnapshot(t, ok, map[string]float64{
+		"MigrateModeledLink/default-per-block": 80,   // -20%: within 25%
+		"MigrateModeledLink/adaptive-policy":   1200, // improvement
+		"SomethingElse/unrelated":              1,    // ignored: not headline
+	})
+	if err := compareBench(ok, base, 25); err != nil {
+		t.Fatalf("within-tolerance snapshot failed the gate: %v", err)
+	}
+
+	bad := dir + "/bad.json"
+	writeSnapshot(t, bad, map[string]float64{
+		"MigrateModeledLink/default-per-block": 70, // -30%: regression
+		"MigrateModeledLink/adaptive-policy":   1000,
+	})
+	if err := compareBench(bad, base, 25); err == nil {
+		t.Fatal("30% drop passed a 25% gate")
+	}
+
+	missing := dir + "/missing.json"
+	writeSnapshot(t, missing, map[string]float64{
+		"MigrateModeledLink/default-per-block": 100,
+	})
+	if err := compareBench(missing, base, 25); err == nil {
+		t.Fatal("snapshot missing a headline benchmark passed the gate")
+	}
+
+	empty := dir + "/empty.json"
+	writeSnapshot(t, empty, nil)
+	if err := compareBench(base, empty, 25); err == nil {
+		t.Fatal("baseline with no headline rows should fail loudly")
+	}
+}
+
+// TestCompareBenchBadFiles: unreadable or malformed snapshots error.
+func TestCompareBenchBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := dir + "/good.json"
+	writeSnapshot(t, good, map[string]float64{"MigrateModeledLink/x": 1})
+	if err := compareBench(dir+"/absent.json", good, 25); err == nil {
+		t.Fatal("missing new snapshot accepted")
+	}
+	badPath := dir + "/bad.json"
+	if err := os.WriteFile(badPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareBench(good, badPath, 25); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+	wrongSchema := dir + "/schema.json"
+	if err := os.WriteFile(wrongSchema, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareBench(good, wrongSchema, 25); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestFaultsPrinterRuns smoke-runs the fault-sweep printer.
+func TestFaultsPrinterRuns(t *testing.T) {
+	faults(1, 5)
 }

@@ -33,6 +33,16 @@
 // -progress prints the engine's live event stream (phase transitions,
 // pre-copy iterations, wire-byte heartbeats, suspend/resume, post-copy
 // pulls) as the migration runs.
+//
+// Fault tolerance: -max-retries N makes the sender survive up to N
+// connection failures by resuming the negotiated session — the receiver
+// always offers a reconnect path — re-sending only the blocks the receiver
+// hasn't confirmed. -journal FILE persists the migration journal (pipeline
+// cursor + pending bitmap) at every checkpoint; after a sender crash,
+// -resume re-runs the migration incrementally from the journaled owed set:
+//
+//	bbmig -mode send -addr dst:7011 -image src.img -max-retries 5 -journal src.journal
+//	bbmig -mode send -addr dst:7011 -image src.img -journal src.journal -resume
 package main
 
 import (
@@ -73,6 +83,10 @@ func main() {
 		workers   = flag.Int("workers", 1, "send: read/send pipeline workers; recv: scatter-write workers")
 		initialBM = flag.String("initial-bitmap", "", "send: bitmap file selecting blocks for an incremental migration")
 		freshBM   = flag.String("fresh-bitmap", "", "recv: file to save the fresh-write bitmap to (enables a later IM back)")
+		retries   = flag.Int("max-retries", 0, "send: survive this many connection failures by resuming the session (0 = fail fast)")
+		backoff   = flag.Duration("retry-backoff", 0, "send: base reconnect delay (doubles per attempt; 0 = default)")
+		journal   = flag.String("journal", "", "send: persist the migration journal (cursor + pending bitmap) to this file")
+		resume    = flag.Bool("resume", false, "send: cold-resume from -journal after a source restart (incremental re-run of the owed blocks)")
 	)
 	flag.Parse()
 
@@ -80,11 +94,19 @@ func main() {
 	if level == 0 && *compress {
 		level = -1 // flate.DefaultCompression
 	}
-	opts := xferOpts{streams: *streams, extentBlocks: *extentBlk, workers: *workers, compressLevel: level, progress: *progress}
+	opts := xferOpts{
+		streams: *streams, extentBlocks: *extentBlk, workers: *workers,
+		compressLevel: level, progress: *progress,
+		maxRetries: *retries, retryBackoff: *backoff, journalPath: *journal,
+	}
 	var err error
 	switch *mode {
 	case "send":
-		err = runSend(*addr, *image, *sizeMB, *memMB, *wl, *limitMbps, *seed, *speedup, opts, *initialBM)
+		if *resume && *journal == "" {
+			err = fmt.Errorf("-resume needs -journal")
+			break
+		}
+		err = runSend(*addr, *image, *sizeMB, *memMB, *wl, *limitMbps, *seed, *speedup, opts, *initialBM, *resume)
 	case "recv":
 		err = runRecv(*listen, *image, *sizeMB, *memMB, opts, *freshBM)
 	case "demo":
@@ -132,6 +154,9 @@ type xferOpts struct {
 	workers       int
 	compressLevel int
 	progress      bool
+	maxRetries    int
+	retryBackoff  time.Duration
+	journalPath   string
 }
 
 // config renders the shared knobs as an engine Config.
@@ -141,6 +166,9 @@ func (o xferOpts) config() core.Config {
 		MaxExtentBlocks: o.extentBlocks,
 		Workers:         o.workers,
 		CompressLevel:   o.compressLevel,
+		MaxRetries:      o.maxRetries,
+		RetryBackoff:    o.retryBackoff,
+		JournalPath:     o.journalPath,
 	}
 	if o.progress {
 		cfg.OnEvent = progressPrinter()
@@ -194,7 +222,7 @@ func acceptConn(l net.Listener, o xferOpts) (transport.Conn, error) {
 	return transport.AcceptStriped(l, nil)
 }
 
-func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, seed int64, speedup float64, opts xferOpts, initialBMPath string) error {
+func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, seed int64, speedup float64, opts xferOpts, initialBMPath string, coldResume bool) error {
 	if addr == "" || image == "" {
 		return fmt.Errorf("send mode needs -addr and -image")
 	}
@@ -225,9 +253,28 @@ func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, se
 	if err != nil {
 		return err
 	}
-	defer conn.Close()
+	cur := conn
+	defer func() { cur.Close() }()
 	var initial *bitmap.Bitmap
-	if initialBMPath != "" {
+	if coldResume {
+		// A restarted source re-runs the migration incrementally from the
+		// journal's owed-block view (the destination's VBD retains what
+		// already landed; duplicates are applied idempotently).
+		st, err := core.LoadJournal(opts.journalPath)
+		if err != nil {
+			return fmt.Errorf("cold resume: %w", err)
+		}
+		if st.Pending == nil {
+			return fmt.Errorf("cold resume: journal at phase %q carries no pending blocks", st.Phase)
+		}
+		if st.Pending.Len() != disk.NumBlocks() {
+			return fmt.Errorf("journal bitmap covers %d blocks, disk has %d", st.Pending.Len(), disk.NumBlocks())
+		}
+		backend.SeedDirty(st.Pending)
+		initial = backend.SwapDirty()
+		fmt.Printf("cold resume from %s (phase %s, iteration %d): %d blocks owed\n",
+			opts.journalPath, st.Phase, st.Iter, initial.Count())
+	} else if initialBMPath != "" {
 		initial, err = bitmap.LoadFile(initialBMPath)
 		if err != nil {
 			return err
@@ -244,6 +291,18 @@ func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, se
 	if limitMbps > 0 {
 		cfg.BandwidthLimit = int64(limitMbps) * 1e6 / 8
 	}
+	if cfg.MaxRetries > 0 {
+		// Reconnects re-dial a single plain stream; the engine re-applies
+		// compression and resumes the session on it.
+		cfg.Redial = func() (transport.Conn, error) {
+			c, err := transport.Dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			cur = c
+			return c, nil
+		}
+	}
 	fmt.Printf("migrating %s (%d MB disk, %d MB memory) to %s...\n",
 		image, int(blockdev.Capacity(disk)>>20), memMB, addr)
 	rep, err := core.MigrateSource(cfg, core.Host{VM: guest, Backend: backend}, conn, initial)
@@ -258,6 +317,9 @@ func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, se
 		return err
 	}
 	fmt.Print(rep.String())
+	if rep.Retries > 0 {
+		fmt.Printf("survived %d connection failure(s) by resuming the session\n", rep.Retries)
+	}
 	fmt.Println("source VM stopped; this machine can be shut down (finite dependency)")
 	return nil
 }
@@ -296,6 +358,12 @@ func recvServe(l net.Listener, image string, sizeMB, memMB int, opts xferOpts, f
 	cfg := opts.config()
 	cfg.OnResume = func(g *blkback.PostCopyGate) {
 		fmt.Println("VM resumed here; post-copy synchronization running")
+	}
+	// Always offer a reconnect path: it only activates when the sender
+	// negotiates a resumable session in its handshake.
+	cfg.WaitReconnect = func(token transport.SessionToken, lastEpoch uint32) (transport.Conn, uint32, error) {
+		fmt.Println("link lost; waiting for the source to reconnect...")
+		return transport.AcceptResume(l, token, lastEpoch, transport.DefaultResumeWait)
 	}
 	res, err := core.MigrateDest(cfg, core.Host{VM: shell, Backend: backend}, conn)
 	if err != nil {
@@ -363,7 +431,7 @@ func runDemo(sizeMB, memMB int, wl string, seed int64, opts xferOpts) error {
 	if wl == "" || wl == "none" {
 		wl = "web"
 	}
-	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, wl, 0, seed, 50, opts, ""); err != nil {
+	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, wl, 0, seed, 50, opts, "", false); err != nil {
 		return err
 	}
 	if err := <-errCh; err != nil {

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"io"
+	"net"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"bbmig/internal/bitmap"
 	"bbmig/internal/blockdev"
+	"bbmig/internal/core"
 	"bbmig/internal/transport"
 	"bbmig/internal/workload"
 )
@@ -134,7 +139,7 @@ func TestSendRecvRoundTripWithIM(t *testing.T) {
 	defer l.Close()
 	recvDone := make(chan error, 1)
 	go func() { recvDone <- recvServe(l, dstImg, sizeMB, memMB, xferOpts{compressLevel: -1}, bmPath) }()
-	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, xferOpts{compressLevel: -1}, ""); err != nil {
+	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, xferOpts{compressLevel: -1}, "", false); err != nil {
 		t.Fatalf("send: %v", err)
 	}
 	if err := <-recvDone; err != nil {
@@ -176,7 +181,7 @@ func TestSendRecvRoundTripWithIM(t *testing.T) {
 	defer l2.Close()
 	recvDone2 := make(chan error, 1)
 	go func() { recvDone2 <- recvServe(l2, srcImg, sizeMB, memMB, xferOpts{}, "") }()
-	if err := runSend(l2.Addr().String(), dstImg, sizeMB, memMB, "none", 0, 1, 1, xferOpts{}, bmPath); err != nil {
+	if err := runSend(l2.Addr().String(), dstImg, sizeMB, memMB, "none", 0, 1, 1, xferOpts{}, bmPath, false); err != nil {
 		t.Fatalf("IM send: %v", err)
 	}
 	if err := <-recvDone2; err != nil {
@@ -190,13 +195,13 @@ func TestSendRecvRoundTripWithIM(t *testing.T) {
 
 // TestRunSendValidation covers the argument checks.
 func TestRunSendValidation(t *testing.T) {
-	if err := runSend("", "", 1, 1, "none", 0, 1, 1, xferOpts{}, ""); err == nil {
+	if err := runSend("", "", 1, 1, "none", 0, 1, 1, xferOpts{}, "", false); err == nil {
 		t.Fatal("missing args accepted")
 	}
 	if err := runRecv(":0", "", 1, 1, xferOpts{}, ""); err == nil {
 		t.Fatal("recv without image accepted")
 	}
-	if !strings.Contains(runSend("", "", 1, 1, "none", 0, 1, 1, xferOpts{}, "").Error(), "-addr") {
+	if !strings.Contains(runSend("", "", 1, 1, "none", 0, 1, 1, xferOpts{}, "", false).Error(), "-addr") {
 		t.Fatal("unhelpful error")
 	}
 }
@@ -230,7 +235,7 @@ func TestStripedCompressedMigration(t *testing.T) {
 	defer l.Close()
 	recvDone := make(chan error, 1)
 	go func() { recvDone <- recvServe(l, dstImg, sizeMB, memMB, opts, "") }()
-	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, opts, ""); err != nil {
+	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, opts, "", false); err != nil {
 		t.Fatalf("striped send: %v", err)
 	}
 	if err := <-recvDone; err != nil {
@@ -242,5 +247,169 @@ func TestStripedCompressedMigration(t *testing.T) {
 	}
 	if !same {
 		t.Fatal("images differ after striped compressed migration")
+	}
+}
+
+// cutProxy forwards TCP to backend, severing the first connection after
+// capBytes of client→backend traffic; later connections pass clean.
+type cutProxy struct {
+	l       net.Listener
+	backend string
+	cap     int64
+	once    sync.Once
+}
+
+func startCutProxy(t *testing.T, backend string, capBytes int64) *cutProxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &cutProxy{l: l, backend: backend, cap: capBytes}
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			flaky := false
+			p.once.Do(func() { flaky = true })
+			go p.pipe(c, flaky)
+		}
+	}()
+	t.Cleanup(func() { l.Close() })
+	return p
+}
+
+func (p *cutProxy) pipe(client net.Conn, flaky bool) {
+	server, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		client.Close()
+		return
+	}
+	go func() {
+		if flaky {
+			io.CopyN(server, client, p.cap)
+		} else {
+			io.Copy(server, client)
+		}
+		client.Close()
+		server.Close()
+	}()
+	io.Copy(client, server)
+	client.Close()
+	server.Close()
+}
+
+// TestCLIResumableMigration cuts the TCP link mid-migration between the two
+// CLI endpoints; -max-retries lets the sender resume and finish, and the
+// images converge.
+func TestCLIResumableMigration(t *testing.T) {
+	dir := t.TempDir()
+	srcImg := filepath.Join(dir, "src.img")
+	dstImg := filepath.Join(dir, "dst.img")
+	const sizeMB, memMB = 8, 2
+
+	d, err := openOrCreate(srcImg, sizeMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	for n := 0; n < d.NumBlocks(); n += 2 {
+		workload.FillBlock(buf, n, 3)
+		d.WriteBlock(n, buf)
+	}
+	d.Close()
+
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Cut mid disk pre-copy (~half the 8 MiB image).
+	proxy := startCutProxy(t, l.Addr().String(), 4<<20)
+
+	sendOpts := xferOpts{maxRetries: 5, retryBackoff: 5 * time.Millisecond, journalPath: filepath.Join(dir, "j.bin")}
+	recvDone := make(chan error, 1)
+	go func() { recvDone <- recvServe(l, dstImg, sizeMB, memMB, xferOpts{}, "") }()
+	if err := runSend(proxy.l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, sendOpts, "", false); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := <-recvDone; err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	same, err := imagesEqual(srcImg, dstImg)
+	if err != nil || !same {
+		t.Fatalf("images differ after resumed CLI migration: %v %v", same, err)
+	}
+	// The journal records completion.
+	st, err := core.LoadJournal(sendOpts.journalPath)
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	if st.Phase != "done" {
+		t.Fatalf("journal phase %q after success, want done", st.Phase)
+	}
+}
+
+// TestCLIColdResume re-runs a crashed migration from its journal: only the
+// owed blocks travel (incrementally) and the images converge.
+func TestCLIColdResume(t *testing.T) {
+	dir := t.TempDir()
+	srcImg := filepath.Join(dir, "src.img")
+	dstImg := filepath.Join(dir, "dst.img")
+	journalPath := filepath.Join(dir, "j.bin")
+	const sizeMB, memMB = 8, 2
+
+	d, err := openOrCreate(srcImg, sizeMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := d.NumBlocks()
+	buf := make([]byte, blockdev.BlockSize)
+	for n := 0; n < blocks; n++ {
+		workload.FillBlock(buf, n, 5)
+		d.WriteBlock(n, buf)
+	}
+	d.Close()
+
+	// Simulate the partial first run: the destination already holds
+	// everything except a tail of blocks, and the crashed source's journal
+	// names exactly that tail as pending.
+	dd, err := openOrCreate(dstImg, sizeMB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < blocks-200; n++ {
+		workload.FillBlock(buf, n, 5)
+		dd.WriteBlock(n, buf)
+	}
+	dd.Close()
+	pending := bitmap.New(blocks)
+	for n := blocks - 200; n < blocks; n++ {
+		pending.Set(n)
+	}
+	j := &core.Journal{Path: journalPath}
+	if err := j.Checkpoint(core.JournalState{Phase: core.PhaseDiskPreCopy, Iter: 1, Pending: pending}); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recvDone := make(chan error, 1)
+	go func() { recvDone <- recvServe(l, dstImg, sizeMB, memMB, xferOpts{}, "") }()
+	opts := xferOpts{journalPath: journalPath}
+	if err := runSend(l.Addr().String(), srcImg, sizeMB, memMB, "none", 0, 1, 1, opts, "", true); err != nil {
+		t.Fatalf("cold-resume send: %v", err)
+	}
+	if err := <-recvDone; err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	same, err := imagesEqual(srcImg, dstImg)
+	if err != nil || !same {
+		t.Fatalf("images differ after cold resume: %v %v", same, err)
 	}
 }

@@ -1,13 +1,24 @@
 package bitmap
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 )
 
-// SaveFile writes the bitmap to path atomically (write-to-temp + rename), so
-// a crash mid-save leaves either the old bitmap or the new one, never a
-// torn file. The migration daemon persists the destination's fresh-write
+// persistMagic prefixes a checksummed bitmap file: magic, CRC-32 (IEEE) of
+// the marshalled bitmap, then the bitmap itself. The checksum turns a torn
+// or partial write — the failure mode the atomic rename cannot cover on
+// every filesystem — into a load error instead of a silently wrong dirty
+// set, which for an incremental migration would mean silently missing
+// blocks.
+var persistMagic = [4]byte{'B', 'B', 'M', '1'}
+
+// SaveFile writes the bitmap to path atomically (write-to-temp + rename)
+// with a leading checksum, so a crash mid-save leaves either the old bitmap
+// or the new one — never a torn file that loads — and corruption is detected
+// on load. The migration daemon persists the destination's fresh-write
 // bitmap this way so an incremental migration back works across daemon
 // restarts.
 func (b *Bitmap) SaveFile(path string) error {
@@ -15,22 +26,46 @@ func (b *Bitmap) SaveFile(path string) error {
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	out := make([]byte, 8, 8+len(data))
+	copy(out, persistMagic[:])
+	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(data))
+	out = append(out, data...)
+	if err := AtomicWriteFile(path, out); err != nil {
 		return fmt.Errorf("bitmap: save: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("bitmap: save rename: %w", err)
 	}
 	return nil
 }
 
-// LoadFile reads a bitmap previously written by SaveFile.
+// AtomicWriteFile is the crash discipline every migration persistence path
+// shares (fresh-write bitmaps here, the journal in core): write to a
+// sibling temp file, then rename over the target, so a crash leaves either
+// the old contents or the new — never a torn file that silently loads.
+func AtomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a bitmap previously written by SaveFile. Files from the
+// pre-checksum format (a bare marshalled bitmap) still load; checksummed
+// files fail loudly on any truncation or corruption.
 func LoadFile(path string) (*Bitmap, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("bitmap: load: %w", err)
+	}
+	if len(data) >= 8 && [4]byte(data[:4]) == persistMagic {
+		body := data[8:]
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[4:]) {
+			return nil, fmt.Errorf("bitmap: load %s: checksum mismatch (torn write?)", path)
+		}
+		data = body
 	}
 	b := &Bitmap{}
 	if err := b.UnmarshalBinary(data); err != nil {

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"time"
+
 	"bbmig/internal/blkback"
 	"bbmig/internal/clock"
 	"bbmig/internal/transport"
@@ -39,7 +41,19 @@ const (
 	// DefaultWorkers is the source read/send and destination scatter-write
 	// concurrency: one, the paper's sequential loops.
 	DefaultWorkers = 1
+	// DefaultRetryBackoff is the base reconnect delay when Config.MaxRetries
+	// enables resumable migration and RetryBackoff is left zero.
+	DefaultRetryBackoff = 100 * time.Millisecond
 )
+
+// RedialFunc re-establishes the source side's transport after a connection
+// failure. See Config.Redial.
+type RedialFunc func() (transport.Conn, error)
+
+// ReconnectFunc hands the destination engine a reconnecting source's fresh
+// connection together with the validated session epoch. See
+// Config.WaitReconnect.
+type ReconnectFunc func(token transport.SessionToken, lastEpoch uint32) (transport.Conn, uint32, error)
 
 // Config parameterizes a migration.
 //
@@ -116,6 +130,49 @@ type Config struct {
 	// block. Local-only.
 	OnEvent EventFunc
 
+	// MaxRetries, when positive, makes the source side resumable: the
+	// handshake negotiates a session token, progress is checkpointed at
+	// phase and iteration boundaries, and a connection failure re-dials
+	// (via Redial) up to MaxRetries times, re-entering the interrupted
+	// phase and sending only the blocks still owed instead of restarting.
+	// Zero (the default) keeps the seed's fail-fast behaviour and its exact
+	// wire format.
+	MaxRetries int
+
+	// RetryBackoff is the base delay before the first reconnect attempt;
+	// each further attempt doubles it (capped at 32x). Zero selects
+	// DefaultRetryBackoff. Slept on Config.Clock, so simulated migrations
+	// retry on the virtual timeline.
+	RetryBackoff time.Duration
+
+	// Redial re-establishes the migration transport after a connection
+	// failure (source side). The engine performs the session-resume
+	// exchange on the returned connection itself; the callback only
+	// supplies a fresh link (re-dialing TCP, rebuilding nothing else —
+	// resumed epochs always run on a single stream, though negotiated
+	// compression is re-applied by the engine). Required for MaxRetries to
+	// take effect. The engine closes superseded connections; the most
+	// recently returned one is the caller's to close after the migration
+	// ends.
+	Redial RedialFunc
+
+	// WaitReconnect, when non-nil, makes the destination side resumable: on
+	// a connection failure the engine parks here until the layer that owns
+	// the listener hands it the reconnecting source's fresh link. The
+	// callback must validate the MsgSessionResume frame itself (token
+	// match, epoch > lastEpoch — transport.AcceptResume does exactly this)
+	// and return the connection with the frame's epoch.
+	WaitReconnect ReconnectFunc
+
+	// JournalPath, when non-empty, persists the source's migration journal
+	// (session token, pipeline cursor, pending bitmap) to this file at
+	// every checkpoint, so an operator can restart a crashed source and
+	// re-run the migration incrementally from the journal instead of
+	// re-sending the whole image (cmd/bbmig -resume). In-process
+	// reconnect resume does not need it — the journal is also kept in
+	// memory.
+	JournalPath string
+
 	// SkipUnused elides never-written blocks from the first pre-copy
 	// iteration when the source device reports its allocation map
 	// (blockdev.Allocator) — the paper's §VII guest-cooperation future-work
@@ -176,6 +233,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Policy == nil {
 		c.Policy = DefaultPolicy{}
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = DefaultRetryBackoff
 	}
 	return c
 }

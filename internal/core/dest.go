@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"bbmig/internal/bitmap"
@@ -52,11 +53,52 @@ type destRun struct {
 	sc          *scatterPool
 	transferred *bitmap.Bitmap // the freeze bitmap, set during pre-copy receive
 	postStart   time.Duration
+
+	// prog is the pipeline position reported to a reconnecting source in
+	// the session ack — the destination's half of the agreement on which
+	// blocks are still owed. Guarded by progMu: the receive loop updates it
+	// while a concurrent pull-send may be recovering the connection.
+	progMu sync.Mutex
+	prog   destProgress
+}
+
+// progressSnapshot implements the transfer.destState callback. The cursor
+// bitmaps are cloned: the receive loop may keep applying frames (one-sided
+// failure) while another goroutine marshals the snapshot.
+func (d *destRun) progressSnapshot() destProgress {
+	d.progMu.Lock()
+	defer d.progMu.Unlock()
+	p := d.prog
+	if p.recvDisk != nil {
+		p.recvDisk = p.recvDisk.Clone()
+	}
+	if p.recvMem != nil {
+		p.recvMem = p.recvMem.Clone()
+	}
+	return p
+}
+
+// noteRecvBlocks records blocks received for the in-flight disk iteration.
+// Out-of-range frames are left for the apply path to reject.
+func (d *destRun) noteRecvBlocks(lo, hi int) {
+	d.progMu.Lock()
+	if bm := d.prog.recvDisk; bm != nil && lo >= 0 && hi <= bm.Len() && lo < hi {
+		bm.SetRange(lo, hi)
+	}
+	d.progMu.Unlock()
+}
+
+// noteProgress applies one update to the progress record.
+func (d *destRun) noteProgress(fn func(*destProgress)) {
+	d.progMu.Lock()
+	fn(&d.prog)
+	d.progMu.Unlock()
 }
 
 func (d *destRun) run() (*DestResult, error) {
 	rep := &metrics.Report{Scheme: "TPM-dest"}
 	res := &DestResult{Report: rep}
+	d.destState = d.progressSnapshot
 
 	// Data frames are handed to the scatter pool; every control frame drains
 	// it first, so iteration boundaries order cross-iteration rewrites
@@ -96,24 +138,48 @@ func (d *destRun) preCopyReceive() error {
 	// MsgIterStart/MsgMemIterStart carry the iteration index in Arg; keep it
 	// so the end-of-iteration event reports which iteration finished.
 	var curIter int
-	iterStart := func(m transport.Message) error {
+	// Iteration starts reset the transfer cursor for their phase — unless
+	// the same iteration restarts after a reconnect, in which case the
+	// already-received set keeps accumulating so nothing is counted twice.
+	diskIterStart := func(m transport.Message) error {
 		curIter = int(m.Arg)
+		d.noteProgress(func(p *destProgress) {
+			if p.recvDisk == nil || p.recvDiskNum != uint32(curIter) {
+				p.recvDiskNum = uint32(curIter)
+				p.recvDisk = bitmap.New(d.host.Backend.Device().NumBlocks())
+			}
+		})
 		return nil
 	}
-	iterEnd := func(m transport.Message) error {
-		d.ev.emit(Event{Kind: EventIterationEnd, Iteration: curIter, Units: int(m.Arg)})
+	memIterStart := func(m transport.Message) error {
+		curIter = int(m.Arg)
+		d.noteProgress(func(p *destProgress) {
+			if p.recvMem == nil || p.recvMemNum != uint32(curIter) {
+				p.recvMemNum = uint32(curIter)
+				p.recvMem = bitmap.New(hostVM.Memory().NumPages())
+			}
+		})
 		return nil
+	}
+	iterEnd := func(note func(*destProgress, uint32)) func(transport.Message) error {
+		return func(m transport.Message) error {
+			d.ev.emit(Event{Kind: EventIterationEnd, Iteration: curIter, Units: int(m.Arg)})
+			d.noteProgress(func(p *destProgress) { note(p, uint32(curIter)) })
+			return nil
+		}
 	}
 	err := d.recvLoop(transport.MsgResume, frameHandlers{
-		transport.MsgIterStart:    d.drainOn(iterStart),
-		transport.MsgIterEnd:      d.drainOn(iterEnd),
-		transport.MsgMemIterStart: d.drainOn(iterStart),
-		transport.MsgMemIterEnd:   d.drainOn(iterEnd),
+		transport.MsgIterStart:    d.drainOn(diskIterStart),
+		transport.MsgIterEnd:      d.drainOn(iterEnd(func(p *destProgress, it uint32) { p.diskIters = it })),
+		transport.MsgMemIterStart: d.drainOn(memIterStart),
+		transport.MsgMemIterEnd:   d.drainOn(iterEnd(func(p *destProgress, it uint32) { p.memIters = it })),
 		transport.MsgSuspend: d.drainOn(func(transport.Message) error {
 			d.ev.suspended()
+			d.noteProgress(func(p *destProgress) { p.flags |= destSuspendSeen })
 			return nil
 		}),
 		transport.MsgBlockData: func(m transport.Message) error {
+			d.noteRecvBlocks(int(m.Arg), int(m.Arg)+1)
 			return d.scatterApply(func() error { return d.applyBlock(m) })
 		},
 		transport.MsgExtent: func(m transport.Message) error {
@@ -121,6 +187,7 @@ func (d *destRun) preCopyReceive() error {
 			if err != nil {
 				return err
 			}
+			d.noteRecvBlocks(ext.Start, ext.End())
 			dev := d.host.Backend.Device()
 			payload, bs := m.Payload, dev.BlockSize()
 			return d.scatterApply(func() error {
@@ -133,6 +200,11 @@ func (d *destRun) preCopyReceive() error {
 			})
 		},
 		transport.MsgMemPage: func(m transport.Message) error {
+			d.noteProgress(func(p *destProgress) {
+				if n := int(m.Arg); p.recvMem != nil && n >= 0 && n < p.recvMem.Len() {
+					p.recvMem.Set(n)
+				}
+			})
 			return d.scatterApply(func() error { return d.applyPage(m) })
 		},
 		transport.MsgCPUState: d.drainOn(func(m transport.Message) error {
@@ -145,6 +217,7 @@ func (d *destRun) preCopyReceive() error {
 			if err := d.transferred.UnmarshalBinary(m.Payload); err != nil {
 				return fmt.Errorf("core: bitmap: %w", err)
 			}
+			d.noteProgress(func(p *destProgress) { p.flags |= destBitmapSeen })
 			return nil
 		}),
 	})
@@ -185,17 +258,20 @@ func (d *destRun) postCopyReceive(res *DestResult) error {
 	// CPU was installed during pre-copy receive; surface it on the result.
 	res.CPU = d.host.VM.CPU()
 	gate := blkback.NewPostCopyGate(dev, d.host.VM.DomainID, d.transferred, func(n int) error {
-		return d.conn.Send(transport.Message{Type: transport.MsgPullRequest, Arg: uint64(n)})
+		return d.destSend(transport.Message{Type: transport.MsgPullRequest, Arg: uint64(n)})
 	}, d.clk)
 	res.Gate = gate
 	if err := d.host.VM.Resume(); err != nil {
 		return fmt.Errorf("core: resume: %w", err)
 	}
 	d.ev.resumed()
+	// The flag is raised before RESUMED is sent: if that send dies with the
+	// link, the reconnect ack must already tell the source the VM runs here.
+	d.noteProgress(func(p *destProgress) { p.flags |= destResumed })
 	if d.cfg.OnResume != nil {
 		d.cfg.OnResume(gate)
 	}
-	if err := d.conn.Send(transport.Message{Type: transport.MsgResumed}); err != nil {
+	if err := d.destSend(transport.Message{Type: transport.MsgResumed}); err != nil {
 		return err
 	}
 	d.postStart = d.clk.Now()
@@ -215,7 +291,7 @@ func (d *destRun) postCopyReceive(res *DestResult) error {
 				break
 			}
 		}
-		m, err := d.conn.Recv()
+		m, err := d.destRecv()
 		if err != nil {
 			return fmt.Errorf("core: post-copy receive: %w", err)
 		}
@@ -247,11 +323,13 @@ func (d *destRun) postCopyReceive(res *DestResult) error {
 				return err
 			}
 			pushDone = true
+			d.noteProgress(func(p *destProgress) { p.flags |= destPushDone })
 		case transport.MsgError:
 			return fmt.Errorf("core: source error: %s", m.Payload)
 		default:
 			return fmt.Errorf("core: unexpected message %v in post-copy", m.Type)
 		}
 	}
-	return d.conn.Send(transport.Message{Type: transport.MsgDone})
+	d.noteProgress(func(p *destProgress) { p.flags |= destSynced })
+	return d.destSend(transport.Message{Type: transport.MsgDone})
 }

@@ -51,6 +51,10 @@ const (
 	// EventFailed is the final event of a failed migration; Err carries the
 	// cause.
 	EventFailed
+	// EventReconnected marks a resumable migration surviving a connection
+	// failure: the session was re-established and the interrupted phase
+	// re-entered. Iteration carries the new session epoch.
+	EventReconnected
 )
 
 // String implements fmt.Stringer.
@@ -74,6 +78,8 @@ func (k EventKind) String() string {
 		return "completed"
 	case EventFailed:
 		return "failed"
+	case EventReconnected:
+		return "reconnected"
 	}
 	return "event(?)"
 }
@@ -192,6 +198,10 @@ func (e *emitter) pullServed(block int) {
 	e.emit(Event{Kind: EventPullServed, Units: block})
 }
 
+func (e *emitter) reconnected(epoch int) {
+	e.emit(Event{Kind: EventReconnected, Iteration: epoch})
+}
+
 // finish emits the terminal event exactly once.
 func (e *emitter) finish(err error) {
 	if !e.completed.CompareAndSwap(false, true) {
@@ -214,6 +224,7 @@ type Progress struct {
 	Iteration        int   // most recently completed pre-copy iteration
 	BytesTransferred int64 // cumulative wire bytes at the last heartbeat
 	PullsServed      int   // post-copy pulls served (source side)
+	Reconnects       int   // resumable-session reconnects survived
 	Suspended        bool  // freeze seen
 	Resumed          bool  // destination VM running
 
@@ -252,6 +263,8 @@ func (t *ProgressTracker) Handle(ev Event) {
 		t.p.Resumed = true
 	case EventPullServed:
 		t.p.PullsServed++
+	case EventReconnected:
+		t.p.Reconnects++
 	case EventCompleted:
 		t.p.Done = true
 		t.p.BytesTransferred = ev.Bytes

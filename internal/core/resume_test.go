@@ -1,0 +1,519 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"time"
+
+	"bbmig/internal/bitmap"
+	"bbmig/internal/blockdev"
+	"bbmig/internal/metrics"
+	"bbmig/internal/transport"
+	"bbmig/internal/workload"
+)
+
+// writeRaw replaces path's contents without the atomic-save discipline,
+// simulating torn or corrupt on-disk state.
+func writeRaw(t *testing.T, path string, data []byte) error {
+	t.Helper()
+	return os.WriteFile(path, data, 0o644)
+}
+
+// pipeRelinker wires a resumable migration's two reconnect callbacks over
+// in-process pipes: the source's Redial mints a fresh pipe pair (optionally
+// fault-wrapped per epoch by inj) and the destination's WaitReconnect
+// receives the peer end and validates the resume frame, exactly as a TCP
+// accept loop would via transport.AcceptResume.
+type pipeRelinker struct {
+	ch  chan transport.Conn
+	inj *transport.Injector
+}
+
+func newPipeRelinker(inj *transport.Injector) *pipeRelinker {
+	return &pipeRelinker{ch: make(chan transport.Conn, 4), inj: inj}
+}
+
+func (r *pipeRelinker) redial() (transport.Conn, error) {
+	pa, pb := transport.NewPipe(64)
+	r.ch <- pb
+	if r.inj != nil {
+		return r.inj.Wrap(pa), nil
+	}
+	return pa, nil
+}
+
+func (r *pipeRelinker) waitReconnect(token transport.SessionToken, lastEpoch uint32) (transport.Conn, uint32, error) {
+	for {
+		c, ok := <-r.ch
+		if !ok {
+			return nil, 0, errors.New("relinker closed")
+		}
+		m, err := c.Recv()
+		if err != nil {
+			c.Close()
+			continue
+		}
+		epoch, err := transport.ParseResume(m, token, lastEpoch)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		return c, epoch, nil
+	}
+}
+
+// runResumable migrates e's world with the given per-epoch fault scripts on
+// the source's connections, returning both reports.
+func (e *env) runResumable(t *testing.T, scripts ...[]transport.Fault) (*DestResult, int64) {
+	t.Helper()
+	inj := transport.NewInjector(scripts...)
+	relink := newPipeRelinker(inj)
+
+	srcCfg := Config{
+		MaxRetries:   5,
+		RetryBackoff: time.Millisecond,
+		Redial:       relink.redial,
+		OnFreeze:     e.router.Freeze,
+	}
+	dstCfg := Config{WaitReconnect: relink.waitReconnect}
+
+	srcCh := make(chan error, 1)
+	var rep *metrics.Report
+	go func() {
+		var err error
+		rep, err = MigrateSource(srcCfg, e.src, inj.Wrap(e.connSrc), nil)
+		srcCh <- err
+	}()
+	res, err := MigrateDest(dstCfg, e.dst, e.connDst)
+	if err != nil {
+		t.Fatalf("destination: %v", err)
+	}
+	if err := <-srcCh; err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	wantRetries := 0
+	for _, sc := range scripts {
+		if len(sc) > 0 {
+			wantRetries++
+		}
+	}
+	if rep.Retries != wantRetries {
+		t.Fatalf("source survived %d retries, want %d", rep.Retries, wantRetries)
+	}
+	return res, rep.MigratedBytes
+}
+
+// cleanRunBytes measures one fault-free default-config migration of a fresh
+// identical world, the baseline for the "materially less than two full
+// transfers" assertion.
+func cleanRunBytes(t *testing.T) int64 {
+	t.Helper()
+	e := newEnv(t)
+	rep, _ := e.runTPM(Config{}, nil)
+	return rep.MigratedBytes
+}
+
+// framesMidMemPhase lands a fault halfway through the memory pre-copy of
+// the deterministic quiescent migration: HELLO, one disk iteration
+// (ITER_START + testBlocks + ITER_END, converging immediately on a quiescent
+// guest), MEM_ITER_START, then half the pages.
+const framesMidMemPhase = 1 + (1 + testBlocks + 1) + 1 + testPages/2
+
+// TestResumeMidMemPreCopy is the headline crash/resume scenario: the link
+// dies halfway through the memory pre-copy, the source reconnects, re-enters
+// the interrupted phase, and completes — re-sending only the interrupted
+// iteration, so the total wire cost stays materially below two full
+// transfers.
+func TestResumeMidMemPreCopy(t *testing.T) {
+	clean := cleanRunBytes(t)
+
+	e := newEnv(t)
+	res, bytes := e.runResumable(t,
+		[]transport.Fault{{AfterSends: framesMidMemPhase, Kind: transport.FaultCut}})
+	e.checkConverged(res.CPU)
+
+	if bytes <= clean {
+		t.Fatalf("resumed run moved %d bytes, below the clean run's %d — fault never fired?", bytes, clean)
+	}
+	// One full transfer plus only the frames in flight at the cut and the
+	// resume bookkeeping: the destination's transfer cursor spares
+	// everything it confirmed. Anything near 2x means phases were re-sent.
+	if limit := clean + clean/4; bytes >= limit {
+		t.Fatalf("resumed run moved %d bytes, want < %d (clean run %d): resume re-transferred too much", bytes, limit, clean)
+	}
+	t.Logf("clean %d bytes, resumed %d bytes (overhead %.1f%%)", clean, bytes, float64(bytes-clean)/float64(clean)*100)
+}
+
+// TestResumeMidDiskPreCopy kills the link a quarter into the first disk
+// iteration; the rewind re-sends that iteration only.
+func TestResumeMidDiskPreCopy(t *testing.T) {
+	e := newEnv(t)
+	res, _ := e.runResumable(t,
+		[]transport.Fault{{AfterSends: 2 + testBlocks/4, Kind: transport.FaultCut}})
+	e.checkConverged(res.CPU)
+}
+
+// TestResumeRecvFault kills the source's receive path (the reader goroutine
+// notices, not the send path), during the freeze/post-copy window where the
+// source is waiting on destination traffic.
+func TestResumeRecvFault(t *testing.T) {
+	e := newEnv(t)
+	// The source receives HELLO_ACK (1) and then destination notifications;
+	// failing the 2nd recv lands while waiting for RESUMED or DONE.
+	res, _ := e.runResumable(t,
+		[]transport.Fault{{AfterRecvs: 1, Kind: transport.FaultCut}})
+	e.checkConverged(res.CPU)
+}
+
+// TestResumeTwoFaults survives a mid-mem-precopy cut and then a second cut
+// on the first reconnected epoch.
+func TestResumeTwoFaults(t *testing.T) {
+	e := newEnv(t)
+	res, _ := e.runResumable(t,
+		[]transport.Fault{{AfterSends: framesMidMemPhase, Kind: transport.FaultCut}},
+		[]transport.Fault{{AfterSends: testPages / 2, Kind: transport.FaultCut}})
+	e.checkConverged(res.CPU)
+}
+
+// TestResumeHalfClose: the source's send side dies but its receive side
+// stays up (one-sided close); the retry driver must still re-establish a
+// fresh link and complete.
+func TestResumeHalfClose(t *testing.T) {
+	e := newEnv(t)
+	res, _ := e.runResumable(t,
+		[]transport.Fault{{AfterSends: framesMidMemPhase, Kind: transport.FaultHalfClose}})
+	e.checkConverged(res.CPU)
+}
+
+// TestFaultFailsFastWithoutRetries: a cut link under the default config
+// (MaxRetries 0) aborts both endpoints with a connection error instead of
+// hanging or retrying.
+func TestFaultFailsFastWithoutRetries(t *testing.T) {
+	e := newEnv(t)
+	faulty := transport.NewScriptedFaultConn(e.connSrc,
+		transport.Fault{AfterSends: framesMidMemPhase, Kind: transport.FaultCut})
+	srcCh := make(chan error, 1)
+	go func() {
+		_, err := MigrateSource(Config{OnFreeze: e.router.Freeze}, e.src, faulty, nil)
+		srcCh <- err
+	}()
+	if _, err := MigrateDest(Config{}, e.dst, e.connDst); err == nil {
+		t.Fatal("destination completed over a cut link")
+	}
+	if err := <-srcCh; !transport.IsConnError(err) {
+		t.Fatalf("source error %v, want a connection error", err)
+	}
+}
+
+// TestResumeDeclinedByDest: when the destination has no reconnect path, the
+// handshake declines the offered token and a later fault is fatal despite
+// the source's retry budget.
+func TestResumeDeclinedByDest(t *testing.T) {
+	e := newEnv(t)
+	relink := newPipeRelinker(nil)
+	srcCfg := Config{
+		MaxRetries:   3,
+		RetryBackoff: time.Millisecond,
+		Redial:       relink.redial,
+		OnFreeze:     e.router.Freeze,
+	}
+	faulty := transport.NewScriptedFaultConn(e.connSrc,
+		transport.Fault{AfterSends: framesMidMemPhase, Kind: transport.FaultCut})
+	srcCh := make(chan error, 1)
+	go func() {
+		_, err := MigrateSource(srcCfg, e.src, faulty, nil)
+		srcCh <- err
+	}()
+	if _, err := MigrateDest(Config{}, e.dst, e.connDst); err == nil {
+		t.Fatal("destination completed over a cut link")
+	}
+	if err := <-srcCh; err == nil {
+		t.Fatal("source completed although the destination declined resume")
+	}
+}
+
+// TestResumeUnderWorkload runs the crash/resume scenario with the guest
+// dirtying blocks throughout, verifying post-resume convergence with
+// concurrent writes (the shadow-disk check is authoritative).
+func TestResumeUnderWorkload(t *testing.T) {
+	e := newEnv(t)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	gen := workload.New(workload.Web, testBlocks, 7)
+	go func() {
+		defer close(done)
+		buf := make([]byte, blockdev.BlockSize)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a := gen.Next()
+			if a.Op != blockdev.Write {
+				continue
+			}
+			for n := a.Block; n < a.Block+a.Count && n < testBlocks; n++ {
+				workload.FillBlock(buf, n, uint32(i+1))
+				_ = e.submitVerified(blockdev.Request{Domain: testDomain, Op: blockdev.Write, Block: n, Data: buf})
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	defer func() {
+		select {
+		case <-stop:
+		default:
+			close(stop)
+		}
+		<-done
+	}()
+
+	inj := transport.NewInjector(
+		[]transport.Fault{{AfterSends: framesMidMemPhase, Kind: transport.FaultCut}})
+	relink := newPipeRelinker(inj)
+	srcCfg := Config{
+		MaxRetries:   5,
+		RetryBackoff: time.Millisecond,
+		Redial:       relink.redial,
+		OnFreeze: func() {
+			close(stop)
+			<-done
+			e.router.Freeze()
+		},
+	}
+	srcCh := make(chan error, 1)
+	go func() {
+		_, err := MigrateSource(srcCfg, e.src, inj.Wrap(e.connSrc), nil)
+		srcCh <- err
+	}()
+	res, err := MigrateDest(Config{WaitReconnect: relink.waitReconnect}, e.dst, e.connDst)
+	if err != nil {
+		t.Fatalf("destination: %v", err)
+	}
+	if err := <-srcCh; err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	e.checkConverged(res.CPU)
+}
+
+// TestResumeEventStream checks the reconnect surfaces on the event bus and
+// in ProgressTracker.
+func TestResumeEventStream(t *testing.T) {
+	e := newEnv(t)
+	tracker := NewProgressTracker()
+	inj := transport.NewInjector(
+		[]transport.Fault{{AfterSends: framesMidMemPhase, Kind: transport.FaultCut}})
+	relink := newPipeRelinker(inj)
+	srcCfg := Config{
+		MaxRetries:   5,
+		RetryBackoff: time.Millisecond,
+		Redial:       relink.redial,
+		OnFreeze:     e.router.Freeze,
+		OnEvent:      tracker.Handle,
+	}
+	srcCh := make(chan error, 1)
+	go func() {
+		_, err := MigrateSource(srcCfg, e.src, inj.Wrap(e.connSrc), nil)
+		srcCh <- err
+	}()
+	if _, err := MigrateDest(Config{WaitReconnect: relink.waitReconnect}, e.dst, e.connDst); err != nil {
+		t.Fatalf("destination: %v", err)
+	}
+	if err := <-srcCh; err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	p := tracker.Snapshot()
+	if p.Reconnects != 1 {
+		t.Fatalf("tracker saw %d reconnects, want 1", p.Reconnects)
+	}
+	if !p.Done || p.Err != "" {
+		t.Fatalf("tracker final state %+v, want clean completion", p)
+	}
+}
+
+// TestResumeJournalCheckpoints: the on-disk journal tracks the pipeline and
+// ends in the done state; intermediate checkpoints load and carry a pending
+// set usable for a cold incremental restart.
+func TestResumeJournalCheckpoints(t *testing.T) {
+	e := newEnv(t)
+	path := t.TempDir() + "/migration.journal"
+
+	var sawDiskPhase bool
+	inj := transport.NewInjector(
+		[]transport.Fault{{AfterSends: framesMidMemPhase, Kind: transport.FaultCut}})
+	relink := newPipeRelinker(inj)
+	srcCfg := Config{
+		MaxRetries:   5,
+		RetryBackoff: time.Millisecond,
+		Redial:       relink.redial,
+		JournalPath:  path,
+		OnFreeze:     e.router.Freeze,
+		OnEvent: func(ev Event) {
+			if ev.Kind == EventPhaseEnd && ev.Phase == PhaseDiskPreCopy && ev.Side == "source" {
+				st, err := LoadJournal(path)
+				if err == nil && st.Phase == PhaseDiskPreCopy {
+					sawDiskPhase = true
+				}
+			}
+		},
+	}
+	srcCh := make(chan error, 1)
+	go func() {
+		_, err := MigrateSource(srcCfg, e.src, inj.Wrap(e.connSrc), nil)
+		srcCh <- err
+	}()
+	if _, err := MigrateDest(Config{WaitReconnect: relink.waitReconnect}, e.dst, e.connDst); err != nil {
+		t.Fatalf("destination: %v", err)
+	}
+	if err := <-srcCh; err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	if !sawDiskPhase {
+		t.Fatal("journal never reflected the disk pre-copy phase")
+	}
+	final, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("final journal: %v", err)
+	}
+	if final.Phase != "done" {
+		t.Fatalf("final journal phase %q, want done", final.Phase)
+	}
+}
+
+// TestJournalStateRoundTrip exercises the journal file format directly,
+// including torn-write detection.
+func TestJournalStateRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/j.bin"
+	pending := bitmap.New(testBlocks)
+	for _, n := range []int{0, 5, 100, testBlocks - 1} {
+		pending.Set(n)
+	}
+	token, err := transport.NewSessionToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Journal{Path: path}
+	st := JournalState{Token: token, Epoch: 3, Phase: PhaseDiskPreCopy, Iter: 2, Pending: pending}
+	if err := j.Checkpoint(st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Token != token || got.Epoch != 3 || got.Phase != PhaseDiskPreCopy || got.Iter != 2 {
+		t.Fatalf("journal round-trip mismatch: %+v", got)
+	}
+	if !got.Pending.Equal(pending) {
+		t.Fatal("pending bitmap did not round-trip")
+	}
+
+	// A torn write (any truncation) must be detected, not half-loaded.
+	data, err := marshalJournal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 4, journalHeaderLen, len(data) - 5, len(data) - 1} {
+		if err := writeRaw(t, path, data[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadJournal(path); err == nil {
+			t.Fatalf("truncation to %d bytes loaded successfully", cut)
+		}
+	}
+	// Bit-flip corruption must fail the checksum.
+	flipped := append([]byte(nil), data...)
+	flipped[journalHeaderLen+2] ^= 0x40
+	if err := writeRaw(t, path, flipped); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJournal(path); err == nil {
+		t.Fatal("corrupted journal loaded successfully")
+	}
+}
+
+// TestOwedUnitsCrossIterationRedirty: a block the destination confirms for
+// iteration k can be owed AGAIN by iteration k+1 (re-dirtied while k was in
+// flight); the cursor subtraction must never erase the newer copy's debt.
+func TestOwedUnitsCrossIterationRedirty(t *testing.T) {
+	const n = 64
+	iter1 := bitmap.New(n) // in flight at the cut
+	iter1.Set(10)
+	iter1.Set(11)
+	iter2 := bitmap.New(n) // already started on the source (buffered ahead)
+	iter2.Set(11)          // block 11 re-dirtied during iteration 1
+	recv := bitmap.New(n)  // dest confirms both blocks of iteration 1
+	recv.Set(10)
+	recv.Set(11)
+	owed := owedUnits(map[int]*bitmap.Bitmap{1: iter1, 2: iter2}, 0, 1, recv)
+	if owed == nil || !owed.Test(11) {
+		t.Fatal("block 11's iteration-2 copy dropped: confirmed-for-iter-1 must not cancel a later iteration's debt")
+	}
+	if owed.Test(10) {
+		t.Fatal("block 10 re-owed although the destination confirmed it and no later iteration touched it")
+	}
+	// And the fully-confirmed case owes nothing.
+	if owed := owedUnits(map[int]*bitmap.Bitmap{1: iter1}, 0, 1, recv); owed != nil && owed.Any() {
+		t.Fatalf("%d blocks owed after full confirmation", owed.Count())
+	}
+}
+
+// recvDeadConn lets one reconnect attempt deliver its outbound frames and
+// even receive the peer's reply — then drops it and dies: the "session ack
+// sent successfully but lost in flight" failure, deterministically.
+type recvDeadConn struct{ transport.Conn }
+
+func (c recvDeadConn) Recv() (transport.Message, error) {
+	c.Conn.Recv() // the ack arrives... and is lost with the link
+	c.Conn.Close()
+	return transport.Message{}, transport.ErrInjected
+}
+
+// TestResumeSurvivesLostAck: the destination's ack for reconnect epoch N is
+// lost (its lastEpoch advanced, the source's did not). The source's next
+// attempt must offer a HIGHER epoch — re-offering N would be rejected as
+// stale forever, burning the whole retry budget.
+func TestResumeSurvivesLostAck(t *testing.T) {
+	e := newEnv(t)
+	relink := newPipeRelinker(nil)
+	ackLost := false
+	redial := func() (transport.Conn, error) {
+		pa, pb := transport.NewPipe(64)
+		relink.ch <- pb
+		if !ackLost {
+			ackLost = true
+			return recvDeadConn{pa}, nil
+		}
+		return pa, nil
+	}
+	srcCfg := Config{
+		MaxRetries:   5,
+		RetryBackoff: time.Millisecond,
+		Redial:       redial,
+		OnFreeze:     e.router.Freeze,
+	}
+	inj := transport.NewInjector(
+		[]transport.Fault{{AfterSends: framesMidMemPhase, Kind: transport.FaultCut}})
+	srcCh := make(chan error, 1)
+	var rep *metrics.Report
+	go func() {
+		var err error
+		rep, err = MigrateSource(srcCfg, e.src, inj.Wrap(e.connSrc), nil)
+		srcCh <- err
+	}()
+	res, err := MigrateDest(Config{WaitReconnect: relink.waitReconnect}, e.dst, e.connDst)
+	if err != nil {
+		t.Fatalf("destination: %v", err)
+	}
+	if err := <-srcCh; err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	// One link cut, two reconnect attempts (the first lost its ack), one
+	// successful resume.
+	if rep.Retries != 1 {
+		t.Fatalf("source recorded %d successful resumes, want 1", rep.Retries)
+	}
+	e.checkConverged(res.CPU)
+}

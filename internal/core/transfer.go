@@ -37,13 +37,29 @@ type transfer struct {
 	pol     Policy
 	ev      *emitter
 	start   time.Duration
+
+	// resumable-session state. sess is always non-nil; swap is the stack's
+	// rebind point (nil when the session cannot resume, keeping the default
+	// stack identical to the seed's). destState, ckpt, and resumeIter are
+	// wired by the endpoint runs that support resumption.
+	sess       *session
+	swap       *transport.Swappable
+	destState  func() destProgress
+	ckpt       func(phase string, iter int, pending *bitmap.Bitmap)
+	resumeIter map[string]*iterResume
 }
 
 // newTransfer decorates conn and assembles the substrate. cfg must already
 // have defaults applied. The decorator order is meter innermost (it counts
-// actual wire bytes) with compression above it when negotiated.
+// actual wire bytes) with compression above it when negotiated; a resumable
+// session slips a rebindable shim underneath so a reconnect swaps the dead
+// link without disturbing metering or negotiated compression.
 func newTransfer(cfg Config, host Host, conn transport.Conn, scheme, side string) (*transfer, error) {
-	t := &transfer{cfg: cfg, host: host, clk: cfg.Clock, pol: cfg.Policy}
+	t := &transfer{cfg: cfg, host: host, clk: cfg.Clock, pol: cfg.Policy, sess: &session{}}
+	if (side == "source" && cfg.MaxRetries > 0) || (side != "source" && cfg.WaitReconnect != nil) {
+		t.swap = transport.NewSwappable(conn)
+		conn = t.swap
+	}
 	t.meter = transport.NewMeter(conn)
 	t.conn = t.meter
 	if cfg.CompressLevel != 0 {
@@ -95,7 +111,10 @@ func (t *transfer) noteWire() {
 	t.ev.noteBytes(t.meter.BytesSent() + t.meter.BytesReceived())
 }
 
-// handshake runs the HELLO/HELLO_ACK exchange from the source side.
+// handshake runs the HELLO/HELLO_ACK exchange from the source side. A
+// resumable source (MaxRetries > 0) appends a freshly minted session token
+// to the geometry payload; the destination's ack reports whether it will
+// honour resumes, and sessions the peer declines run fail-fast.
 func (t *transfer) handshake() error {
 	dev := t.host.Backend.Device()
 	mem := t.host.VM.Memory()
@@ -107,6 +126,15 @@ func (t *transfer) handshake() error {
 	if err != nil {
 		return err
 	}
+	if t.cfg.MaxRetries > 0 {
+		token, err := transport.NewSessionToken()
+		if err != nil {
+			return err
+		}
+		t.sess.token = token
+		t.sess.offered = true
+		gb = append(gb, token[:]...)
+	}
 	if err := t.send(transport.Message{Type: transport.MsgHello, Arg: transport.ProtocolVersion, Payload: gb}, false); err != nil {
 		return err
 	}
@@ -117,6 +145,7 @@ func (t *transfer) handshake() error {
 	if ack.Type != transport.MsgHelloAck {
 		return fmt.Errorf("core: unexpected handshake reply %v", ack.Type)
 	}
+	t.sess.setResumable(t.sess.offered && ack.Arg&transport.HelloAckResume != 0)
 	return nil
 }
 
@@ -135,8 +164,27 @@ func (t *transfer) acceptHandshake() error {
 	if hello.Arg != transport.ProtocolVersion {
 		return fmt.Errorf("core: protocol version %d, want %d", hello.Arg, transport.ProtocolVersion)
 	}
+	// A resumable source appends a 16-byte session token to the geometry.
+	// Accept it (and advertise resume support in the ack) only when this
+	// destination was given a reconnect path; otherwise the session
+	// degrades to fail-fast and the token is ignored.
+	var ackArg uint64
+	payload := hello.Payload
+	if len(payload) == 32+16 {
+		token, err := transport.TokenFromBytes(payload[32:])
+		if err != nil {
+			return err
+		}
+		payload = payload[:32]
+		if t.cfg.WaitReconnect != nil {
+			t.sess.token = token
+			t.sess.offered = true
+			t.sess.setResumable(true)
+			ackArg = transport.HelloAckResume
+		}
+	}
 	var geom transport.Geometry
-	if err := geom.UnmarshalBinary(hello.Payload); err != nil {
+	if err := geom.UnmarshalBinary(payload); err != nil {
 		return err
 	}
 	if geom.BlockSize != dev.BlockSize() || geom.NumBlocks != dev.NumBlocks() {
@@ -147,7 +195,7 @@ func (t *transfer) acceptHandshake() error {
 		return fmt.Errorf("core: source memory %dx%d, shell %dx%d",
 			geom.NumPages, geom.PageSize, mem.NumPages(), mem.PageSize())
 	}
-	return t.send(transport.Message{Type: transport.MsgHelloAck}, false)
+	return t.send(transport.Message{Type: transport.MsgHelloAck, Arg: ackArg}, false)
 }
 
 // effectiveMaxExtent bounds an extent limit by what one frame may carry
@@ -381,10 +429,22 @@ type preCopySpec struct {
 // initial set, iteration k sends what was dirtied during k-1, and the policy
 // decides when to stop. The remaining dirty set stays in the tracker for the
 // next phase.
+//
+// A resumable source re-enters here mid-phase: a pending resumeIter entry
+// replaces the start iteration and its bitmap (the blocks still owed after a
+// reconnect), and every iteration start is checkpointed through ckpt so the
+// next failure rewinds at most one iteration.
 func (t *transfer) preCopyLoop(sp preCopySpec, initial *bitmap.Bitmap) error {
 	toSend := initial
+	startIter := 1
+	if res := t.takeResume(sp.phase); res != nil {
+		startIter, toSend = res.iter, res.pending
+	}
 	prev := toSend.Count()
-	for iter := 1; ; iter++ {
+	for iter := startIter; ; iter++ {
+		if t.ckpt != nil {
+			t.ckpt(sp.phase, iter, toSend)
+		}
 		iterStart := t.clk.Now()
 		if err := t.send(transport.Message{Type: sp.startMsg, Arg: uint64(iter)}, true); err != nil {
 			return err
@@ -513,6 +573,15 @@ func (t *transfer) applyPage(m transport.Message) error {
 	return nil
 }
 
+// takeResume consumes the re-entry state for one phase, if any.
+func (t *transfer) takeResume(phase string) *iterResume {
+	res := t.resumeIter[phase]
+	if res != nil {
+		delete(t.resumeIter, phase)
+	}
+	return res
+}
+
 // frameHandlers maps message types to appliers for recvLoop. A nil handler
 // marks the type as an accepted phase marker with nothing to apply.
 type frameHandlers map[transport.MsgType]func(transport.Message) error
@@ -520,10 +589,12 @@ type frameHandlers map[transport.MsgType]func(transport.Message) error
 // recvLoop receives frames, dispatching each to its handler, until the
 // `until` type arrives. MsgError frames abort with the carried cause;
 // unlisted types are protocol errors. The receive side of the byte heartbeat
-// is fed here.
+// is fed here. Receives ride destRecv, so a resumable destination survives
+// connection loss mid-loop: duplicate frames the reconnecting source re-sends
+// are applied idempotently by the handlers.
 func (t *transfer) recvLoop(until transport.MsgType, handlers frameHandlers) error {
 	for {
-		m, err := t.conn.Recv()
+		m, err := t.destRecv()
 		if err != nil {
 			return fmt.Errorf("core: receive: %w", err)
 		}

@@ -224,9 +224,11 @@ func clampCompress(level int) int {
 }
 
 // announce is the first MsgAnnounce payload: identity, geometry, the
-// transport stream count the sender will open, and the stream compression
-// level both engines must use (negotiated here so a mismatch fails the
-// handshake instead of corrupting the stream).
+// transport stream count the sender will open, the stream compression level
+// both engines must use (negotiated here so a mismatch fails the handshake
+// instead of corrupting the stream), and whether the sender will run a
+// resumable session (so the receiver arms its reconnect accept path before
+// the engine handshake offers the token).
 type announce struct {
 	name     string
 	srcHost  string
@@ -235,14 +237,18 @@ type announce struct {
 	work     bool
 	streams  int
 	compress int
+	resume   bool
 }
+
+// announceHeaderLen is the fixed prefix before the variable-length fields.
+const announceHeaderLen = 9
 
 func (a announce) marshal() ([]byte, error) {
 	gb, err := a.geom.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, 8)
+	out := make([]byte, announceHeaderLen)
 	binary.LittleEndian.PutUint16(out[0:], uint16(len(a.name)))
 	binary.LittleEndian.PutUint16(out[2:], uint16(len(a.srcHost)))
 	out[4] = byte(a.kind)
@@ -251,6 +257,9 @@ func (a announce) marshal() ([]byte, error) {
 	}
 	out[6] = byte(a.streams)        // 0 reads as 1: pre-striping senders
 	out[7] = byte(int8(a.compress)) // flate level, -2..9; 0 = uncompressed
+	if a.resume {
+		out[8] = 1
+	}
 	out = append(out, a.name...)
 	out = append(out, a.srcHost...)
 	out = append(out, gb...)
@@ -259,7 +268,7 @@ func (a announce) marshal() ([]byte, error) {
 
 func unmarshalAnnounce(data []byte) (announce, error) {
 	var a announce
-	if len(data) < 8 {
+	if len(data) < announceHeaderLen {
 		return a, fmt.Errorf("hostd: announce truncated")
 	}
 	nameLen := int(binary.LittleEndian.Uint16(data[0:]))
@@ -271,13 +280,14 @@ func unmarshalAnnounce(data []byte) (announce, error) {
 		a.streams = 1
 	}
 	a.compress = int(int8(data[7]))
+	a.resume = data[8] == 1
 	const geomLen = 32
-	if len(data) != 8+nameLen+srcLen+geomLen {
+	if len(data) != announceHeaderLen+nameLen+srcLen+geomLen {
 		return a, fmt.Errorf("hostd: announce length %d inconsistent", len(data))
 	}
-	a.name = string(data[8 : 8+nameLen])
-	a.srcHost = string(data[8+nameLen : 8+nameLen+srcLen])
-	return a, a.geom.UnmarshalBinary(data[8+nameLen+srcLen:])
+	a.name = string(data[announceHeaderLen : announceHeaderLen+nameLen])
+	a.srcHost = string(data[announceHeaderLen+nameLen : announceHeaderLen+nameLen+srcLen])
+	return a, a.geom.UnmarshalBinary(data[announceHeaderLen+nameLen+srcLen:])
 }
 
 // MigrateOut migrates a domain to the machine listening at addr. If the
@@ -316,6 +326,7 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 		work:     d.hasWork,
 		streams:  streams,
 		compress: clampCompress(cfg.CompressLevel),
+		resume:   cfg.MaxRetries > 0,
 	}
 	ab, err := ann.marshal()
 	if err != nil {
@@ -336,7 +347,22 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 		}
 		conn = striped
 	}
-	defer conn.Close()
+	// With retries enabled, each reconnect re-dials a single plain stream
+	// (resumed epochs trade striping for simplicity; compression is
+	// re-applied by the engine). cur tracks the live link so the vault
+	// ships over whatever connection the migration ended on.
+	cur := conn
+	if cfg.MaxRetries > 0 {
+		cfg.Redial = func() (transport.Conn, error) {
+			c, err := transport.Dial(addr)
+			if err != nil {
+				return nil, err
+			}
+			cur = c
+			return c, nil
+		}
+	}
+	defer func() { cur.Close() }()
 
 	// Seed incremental migration from the vault's view of the destination;
 	// writes from here to the freeze are tracked by the backend as usual.
@@ -369,7 +395,7 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 	if err != nil {
 		return rep, err
 	}
-	if err := conn.Send(transport.Message{Type: transport.MsgAnnounce, Payload: vb}); err != nil {
+	if err := cur.Send(transport.Message{Type: transport.MsgAnnounce, Payload: vb}); err != nil {
 		return rep, fmt.Errorf("hostd: ship vault: %w", err)
 	}
 
@@ -428,6 +454,34 @@ func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config
 		return nil, fmt.Errorf("hostd: compress level mismatch: sender %d, receiver %d", ann.compress, local)
 	}
 	cfg.CompressLevel = ann.compress
+	// A resumable sender reconnects to the same listener; the accept loop
+	// parks there until a connection opens with the session's resume frame
+	// and hands it (and the vault that follows the engine exchange) to the
+	// engine. cur tracks the live link across rebinds — the engine may
+	// recover from either its receive loop or a pull-send goroutine, so the
+	// holder is mutex-guarded.
+	var curMu sync.Mutex
+	cur := conn
+	liveConn := func() transport.Conn {
+		curMu.Lock()
+		defer curMu.Unlock()
+		return cur
+	}
+	// The caller's deferred Close must tear down the link the migration
+	// ended on, not the one it started on.
+	defer func() { *connp = liveConn() }()
+	if ann.resume {
+		cfg.WaitReconnect = func(token transport.SessionToken, lastEpoch uint32) (transport.Conn, uint32, error) {
+			c, epoch, err := transport.AcceptResume(l, token, lastEpoch, transport.DefaultResumeWait)
+			if err != nil {
+				return nil, 0, err
+			}
+			curMu.Lock()
+			cur = c
+			curMu.Unlock()
+			return c, epoch, nil
+		}
+	}
 
 	m.mu.Lock()
 	if _, exists := m.domains[ann.name]; exists {
@@ -473,8 +527,9 @@ func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config
 		return res, err
 	}
 
-	// The vault frame follows the engine's Done exchange.
-	vf, err := conn.Recv()
+	// The vault frame follows the engine's Done exchange, on whatever
+	// connection the migration ended on.
+	vf, err := liveConn().Recv()
 	if err != nil {
 		return res, fmt.Errorf("hostd: waiting for vault: %w", err)
 	}

@@ -1,6 +1,9 @@
 package hostd
 
 import (
+	"io"
+	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -450,5 +453,146 @@ func TestHostdLiveStatus(t *testing.T) {
 	}
 	if n := len(A.ActiveMigrations()) + len(B.ActiveMigrations()); n != 0 {
 		t.Fatalf("%d active migrations after completion", n)
+	}
+}
+
+// flakyProxy forwards TCP connections to backend, cutting the first
+// connection after capBytes of client→backend traffic; later connections
+// pass through untouched. It models a link flap between two host daemons.
+type flakyProxy struct {
+	l       net.Listener
+	backend string
+	cap     int64
+	first   sync.Once
+	wg      sync.WaitGroup
+}
+
+func newFlakyProxy(t *testing.T, backend string, capBytes int64) *flakyProxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{l: l, backend: backend, cap: capBytes}
+	go p.serve()
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.l.Addr().String() }
+
+func (p *flakyProxy) close() {
+	p.l.Close()
+	p.wg.Wait()
+}
+
+func (p *flakyProxy) serve() {
+	for {
+		client, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		flaky := false
+		p.first.Do(func() { flaky = true })
+		p.wg.Add(1)
+		go p.forward(client, flaky)
+	}
+}
+
+func (p *flakyProxy) forward(client net.Conn, flaky bool) {
+	defer p.wg.Done()
+	server, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		client.Close()
+		return
+	}
+	kill := func() {
+		client.Close()
+		server.Close()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if flaky {
+			io.CopyN(server, client, p.cap)
+			kill()
+			return
+		}
+		io.Copy(server, client)
+		kill()
+	}()
+	go func() {
+		defer wg.Done()
+		io.Copy(client, server)
+	}()
+	wg.Wait()
+}
+
+// TestHostdResumableHop cuts the TCP link mid-migration between two host
+// daemons; the source re-dials through the (now healthy) path, resumes the
+// session, and the hop completes with the usual consistency guarantees —
+// including the vault handoff that follows the engine exchange.
+func TestHostdResumableHop(t *testing.T) {
+	A, B := NewMachine("A"), NewMachine("B")
+	d, err := A.CreateDomain("guest", tBlocks, tPages, workload.Web, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := blockdev.NewMemDisk(tBlocks, blockdev.BlockSize)
+	buf := make([]byte, blockdev.BlockSize)
+	for i := 100; i < 400; i++ {
+		workload.FillBlock(buf, i, 1)
+		if err := d.Submit(blockdev.Request{Op: blockdev.Write, Block: i, Domain: d.VM().DomainID, Data: buf}); err != nil {
+			t.Fatal(err)
+		}
+		shadow.WriteBlock(i, buf)
+	}
+
+	l, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Cut the first connection roughly mid disk pre-copy (~2048 block
+	// frames of 4 KiB): well after the announce, well before completion.
+	proxy := newFlakyProxy(t, l.Addr().String(), int64(tBlocks)*blockdev.BlockSize/2)
+	defer proxy.close()
+
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := B.ServeOne(l, core.Config{})
+		resCh <- err
+	}()
+	rep, err := A.MigrateOut("guest", B.Name, proxy.addr(), core.Config{
+		MaxRetries:   5,
+		RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	if err := <-resCh; err != nil {
+		t.Fatalf("destination: %v", err)
+	}
+	if rep.Retries < 1 {
+		t.Fatalf("migration survived %d retries, want ≥ 1 (fault never fired?)", rep.Retries)
+	}
+	dom, ok := B.Domain("guest")
+	if !ok {
+		t.Fatal("guest not hosted on B")
+	}
+	diffs, err := blockdev.Diff(dom.Disk(), shadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diffs) != 0 {
+		t.Fatalf("%d blocks differ from truth after resumed hop", len(diffs))
+	}
+	if len(A.Domains()) != 0 {
+		t.Fatal("domain still on A after a successful (resumed) migration")
+	}
+	// The vault must have survived the rebinds: migrating back is
+	// incremental.
+	if dom.Vault() == nil {
+		t.Fatal("vault missing after resumed hop")
 	}
 }

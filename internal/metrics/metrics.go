@@ -41,6 +41,9 @@ type Report struct {
 	DiskIterations []Iteration
 	MemIterations  []Iteration
 
+	Retries     int   // connection failures survived by resuming the session
+	ResentBytes int64 // wire bytes re-sent because a failure rewound an iteration
+
 	BlocksPushed  int           // post-copy blocks pushed by the source
 	BlocksPulled  int           // post-copy blocks pulled on demand
 	StalePushes   int           // pushed blocks dropped (superseded by local writes)

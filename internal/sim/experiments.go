@@ -427,3 +427,52 @@ func AdaptiveSweep(seed int64) ([]*Result, *metrics.Table) {
 	}
 	return results, t
 }
+
+// FaultSweep quantifies what resumable migration buys at paper scale: a
+// 10-second link outage is injected at several points of a web-workload TPM
+// migration, and the resumed run (re-send only the interrupted iteration,
+// the engine's journal semantics) is compared against the naive
+// fail-and-restart alternative (everything transferred before the cut is
+// wasted, plus a full second migration). Wire totals count disk payloads,
+// memory pages, and re-sent bytes.
+func FaultSweep(seed int64) ([]*Result, *metrics.Table) {
+	t := &metrics.Table{
+		Title: "Fault sweep — web workload, 10 s link outage, resume vs restart",
+		Columns: []string{
+			"outage at", "resume total (s)", "resume wire (MB)", "re-sent (MB)",
+			"restart total (s)", "restart wire (MB)", "wire saved",
+		},
+	}
+	base := Defaults(workload.Web)
+	base.Seed = seed
+	base.DwellAfter = time.Minute
+	clean := RunTPM(base)
+	cleanWire := float64(clean.Report.MigratedBytes + clean.Report.MemBytesMoved)
+	cleanTime := (clean.MigEnd - clean.MigStart).Seconds()
+	const outage = 10 * time.Second
+
+	var results []*Result
+	for _, frac := range []float64{0.25, 0.50, 0.75} {
+		p := base
+		p.OutageAt = clean.MigStart + time.Duration(frac*float64(clean.MigEnd-clean.MigStart))
+		p.OutageDuration = outage
+		r := RunTPM(p)
+		results = append(results, r)
+		resumeWire := float64(r.Report.MigratedBytes+r.Report.MemBytesMoved+r.Report.ResentBytes) / 1e6
+		// Restart arm: the work up to the cut is wasted, then a full
+		// migration re-runs after the outage.
+		restartWire := (frac*cleanWire + cleanWire) / 1e6
+		restartTime := frac*cleanTime + outage.Seconds() + cleanTime
+		saved := (1 - resumeWire/restartWire) * 100
+		t.AddRow(
+			fmt.Sprintf("%.0f%% (%.0f s)", frac*100, frac*cleanTime),
+			fmt.Sprintf("%.0f", (r.MigEnd-r.MigStart).Seconds()),
+			fmt.Sprintf("%.0f", resumeWire),
+			fmt.Sprintf("%.1f", float64(r.Report.ResentBytes)/1e6),
+			fmt.Sprintf("%.0f", restartTime),
+			fmt.Sprintf("%.0f", restartWire),
+			fmt.Sprintf("%.0f%%", saved),
+		)
+	}
+	return results, t
+}

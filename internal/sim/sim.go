@@ -81,6 +81,15 @@ type Params struct {
 	// longer needs to be inferred from its cursor position.
 	OnEvent core.EventFunc
 
+	// OutageAt, when positive, severs the migration link once at that point
+	// on the simulated timeline; the link stays down for OutageDuration
+	// while the guest keeps running (and dirtying) at full disk speed.
+	// The migration resumes the way the engine does — re-entering the
+	// interrupted iteration and re-sending it — with the penalty recorded
+	// in Report.Retries and Report.ResentBytes. Zero disables the fault.
+	OutageAt       time.Duration
+	OutageDuration time.Duration
+
 	// Engine stop conditions, mirroring core.Config.
 	MaxDiskIters           int
 	DiskDirtyThresholdBlks int
@@ -169,6 +178,10 @@ type sim struct {
 	memPhase bool // memory pre-copy active: frames are single pages
 	extent   int  // live extent coalescing limit (adaptive growth)
 
+	outageArmed   bool          // OutageAt not yet reached
+	linkDownUntil time.Duration // link dead until this instant
+	faultFired    bool          // latched for the transfer loop to consume
+
 	rep        *metrics.Report
 	wSeries    metrics.Series
 	mSeries    metrics.Series
@@ -237,6 +250,7 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 		s.rep.Scheme = "IM"
 	}
 	s.extent = p.MaxExtentBlocks
+	s.outageArmed = p.OutageAt > 0
 	s.wSeries = metrics.Series{Label: p.Workload.String() + " throughput", Unit: "MB/s"}
 	s.mSeries = metrics.Series{Label: "migration transfer rate", Unit: "MB/s"}
 
@@ -412,11 +426,32 @@ func (s *sim) migFrameBytes() float64 {
 	return float64(blockdev.BlockSize*s.liveExtent() + frameOverhead)
 }
 
+// linkDown reports whether the modelled outage currently severs the link.
+func (s *sim) linkDown() bool {
+	return s.now < s.linkDownUntil
+}
+
+// consumeFault latches-and-clears the fired-fault flag; the transfer loops
+// call it after each step to apply the engine's resume semantics (re-send
+// the interrupted iteration).
+func (s *sim) consumeFault() bool {
+	if !s.faultFired {
+		return false
+	}
+	s.faultFired = false
+	s.rep.Retries++
+	return true
+}
+
 // migRate returns the migration bandwidth before disk contention. When a
 // per-frame stall is modelled, each frame of payload P costs P/net +
 // FrameLatency/Streams seconds, so the effective rate rises with extent
 // coalescing (bigger P) and striping (stall overlapped across streams).
+// A severed link moves nothing.
 func (s *sim) migRate() float64 {
+	if s.linkDown() {
+		return 0
+	}
 	r := s.p.NetBytesPerSec
 	if s.p.FrameLatency > 0 {
 		frameBytes := s.migFrameBytes()
@@ -457,6 +492,11 @@ func (s *sim) step(dt time.Duration) float64 {
 	s.cur.advance(time.Duration(float64(dt)*slow), s.applyAccess)
 	s.advanceMemModel(dt)
 	s.now += dt
+	if s.outageArmed && s.now >= s.p.OutageAt {
+		s.outageArmed = false
+		s.linkDownUntil = s.now + s.p.OutageDuration
+		s.faultFired = true
+	}
 	s.wSeries.Add(s.now, wEff/1e6)
 	s.mSeries.Add(s.now, mEff/1e6)
 	if mig > 0 {
@@ -501,11 +541,28 @@ func (s *sim) applyAccess(a workload.Access) {
 	}
 }
 
+// inflightWindow is the data assumed lost in flight when the link is cut:
+// everything already confirmed by the destination survives (its transfer
+// cursor rides the resume ack), so the resume penalty is one transport
+// window, not the interrupted iteration.
+const inflightWindow = 256 << 10
+
 // transferBlocks advances time until `blocks` blocks have crossed the wire.
+// If the modelled outage fires mid-iteration, the link stalls for the
+// outage window and the in-flight data is re-sent — the engine's
+// cursor-exact resume semantics.
 func (s *sim) transferBlocks(blocks int64) {
-	remaining := float64(blocks) * s.perBlockWire()
+	total := float64(blocks) * s.perBlockWire()
+	remaining := total
 	for remaining > 0 {
 		remaining -= s.step(s.p.Step)
+		if s.consumeFault() && remaining > 0 {
+			resend := math.Min(total-remaining, inflightWindow)
+			if resend > 0 {
+				s.rep.ResentBytes += int64(resend)
+				remaining += resend
+			}
+		}
 	}
 }
 
@@ -514,6 +571,12 @@ func (s *sim) transferBlocks(blocks int64) {
 // applyAccess).
 func (s *sim) stepPostCopy() {
 	credit := s.step(s.p.Step)
+	// An outage during post-copy just stalls the push; the remaining bitmap
+	// is the source's durable view, so resume loses at most one step.
+	s.consumeFault()
+	if s.linkDown() {
+		return
+	}
 	pushBlocks := int(credit / s.perBlockWire())
 	if pushBlocks < 1 {
 		pushBlocks = 1 // guarantee progress even under an extreme cap
@@ -568,6 +631,21 @@ func (s *sim) memPreCopy() {
 		for elapsed < total {
 			step := minDur(s.p.Step, total-elapsed)
 			s.step(step)
+			if s.consumeFault() {
+				// Cursor-exact resume: only the in-flight window re-sends
+				// once the link returns.
+				resendSec := inflightWindow / rate
+				if rewind := time.Duration(resendSec * float64(time.Second)); rewind < elapsed {
+					elapsed -= rewind
+				} else {
+					elapsed = 0
+				}
+				s.rep.ResentBytes += inflightWindow
+				continue
+			}
+			if s.linkDown() {
+				continue // time passes, no pages move
+			}
 			elapsed += step
 		}
 		s.rep.MemBytesMoved += int64(toSend * 4096)

@@ -521,3 +521,64 @@ func TestSimAdaptiveBeatsDefault(t *testing.T) {
 		t.Fatalf("adaptive downtime regressed: %v vs %v", adaptive.Downtime, def.Downtime)
 	}
 }
+
+// TestOutageResume: an injected outage must register as a retry, re-send a
+// bounded amount (at most the interrupted iteration), stretch the migration
+// by at least the outage window, and leave the converged outcome intact.
+func TestOutageResume(t *testing.T) {
+	base := Defaults(workload.Web)
+	base.DwellAfter = time.Minute
+	clean := RunTPM(base)
+
+	p := base
+	p.OutageAt = clean.MigStart + (clean.MigEnd-clean.MigStart)/2
+	p.OutageDuration = 10 * time.Second
+	r := RunTPM(p)
+
+	if r.Report.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", r.Report.Retries)
+	}
+	if r.Report.ResentBytes <= 0 {
+		t.Fatal("no bytes re-sent despite a mid-iteration outage")
+	}
+	cleanDur := clean.MigEnd - clean.MigStart
+	faultDur := r.MigEnd - r.MigStart
+	if faultDur < cleanDur+p.OutageDuration/2 {
+		t.Fatalf("outage did not lengthen the migration: %v vs clean %v", faultDur, cleanDur)
+	}
+	// Resume must beat restart by a wide margin: the re-sent bytes stay a
+	// small fraction of the full transfer.
+	total := float64(clean.Report.MigratedBytes + clean.Report.MemBytesMoved)
+	if f := float64(r.Report.ResentBytes) / total; f > 0.5 {
+		t.Fatalf("re-sent %.0f%% of a full transfer; resume should rewind one iteration", f*100)
+	}
+}
+
+// TestOutageZeroDisabled: the default parameters never arm the fault path.
+func TestOutageZeroDisabled(t *testing.T) {
+	p := Defaults(workload.Web)
+	p.DwellAfter = time.Minute
+	r := RunTPM(p)
+	if r.Report.Retries != 0 || r.Report.ResentBytes != 0 {
+		t.Fatalf("fault-free run recorded retries=%d resent=%d", r.Report.Retries, r.Report.ResentBytes)
+	}
+}
+
+// TestFaultSweepShape: three rows, deterministic, and the resume arm always
+// moves fewer wire bytes than the restart arm.
+func TestFaultSweepShape(t *testing.T) {
+	results, tab := FaultSweep(1)
+	if len(results) != 3 || len(tab.Rows) != 3 {
+		t.Fatalf("sweep produced %d results / %d rows", len(results), len(tab.Rows))
+	}
+	again, _ := FaultSweep(1)
+	for i := range results {
+		if results[i].Report.MigratedBytes != again[i].Report.MigratedBytes ||
+			results[i].Report.Retries != again[i].Report.Retries {
+			t.Fatalf("FaultSweep row %d not deterministic", i)
+		}
+		if results[i].Report.Retries < 1 {
+			t.Fatalf("row %d: outage never fired", i)
+		}
+	}
+}

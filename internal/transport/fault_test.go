@@ -1,0 +1,324 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultCutOrdering: a FaultCut after N sends delivers exactly N frames,
+// loses the N+1th, and kills both directions — deterministically, every run.
+func TestFaultCutOrdering(t *testing.T) {
+	const n = 5
+	a, b := NewPipe(16)
+	fa := NewScriptedFaultConn(a, Fault{AfterSends: n, Kind: FaultCut})
+	for i := 0; i < n; i++ {
+		if err := fa.Send(Message{Type: MsgBlockData, Arg: uint64(i)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := fa.Send(Message{Type: MsgBlockData, Arg: n}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("send %d: got %v, want ErrInjected", n, err)
+	}
+	// Exactly the delivered frames arrive, in order, then the close.
+	for i := 0; i < n; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Arg != uint64(i) {
+			t.Fatalf("recv %d: got frame %d", i, m.Arg)
+		}
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("the cut frame was delivered")
+	}
+	// The dead conn stays dead in both directions.
+	if err := fa.Send(Message{Type: MsgBlockData}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-cut send: %v", err)
+	}
+	if _, err := fa.Recv(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-cut recv: %v", err)
+	}
+}
+
+// TestFaultRecvTrigger: recv-side triggers count successful receives and cut
+// the link on the next attempt without consuming a frame.
+func TestFaultRecvTrigger(t *testing.T) {
+	a, b := NewPipe(16)
+	fb := NewScriptedFaultConn(b, Fault{AfterRecvs: 2, Kind: FaultCut})
+	for i := 0; i < 3; i++ {
+		if err := a.Send(Message{Type: MsgMemPage, Arg: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := fb.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	if _, err := fb.Recv(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd recv: got %v, want ErrInjected", err)
+	}
+	// The cut closed the underlying pipe: the peer notices.
+	if err := a.Send(Message{Type: MsgMemPage}); err == nil {
+		t.Fatal("peer send succeeded after recv-side cut")
+	}
+}
+
+// TestFaultHalfClose: sends die at the trigger, receives keep working — the
+// one-sided failure a resumable source must still notice and recover from.
+func TestFaultHalfClose(t *testing.T) {
+	a, b := NewPipe(16)
+	fa := NewScriptedFaultConn(a, Fault{AfterSends: 1, Kind: FaultHalfClose})
+	if err := fa.Send(Message{Type: MsgBlockData, Arg: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Send(Message{Type: MsgBlockData, Arg: 2}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("send after half-close: %v", err)
+	}
+	// Receive direction still works: the peer can deliver.
+	if err := b.Send(Message{Type: MsgPullRequest, Arg: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fa.Recv()
+	if err != nil || m.Arg != 9 {
+		t.Fatalf("recv over half-closed conn: %v %v", m, err)
+	}
+	// And the send side stays dead.
+	if err := fa.Send(Message{Type: MsgBlockData, Arg: 3}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second send after half-close: %v", err)
+	}
+}
+
+// TestFaultTruncate: the triggering frame arrives with its payload cut to
+// half length — a frame severed mid-extent — and the link then dies.
+func TestFaultTruncate(t *testing.T) {
+	a, b := NewPipe(16)
+	fa := NewScriptedFaultConn(a, Fault{AfterSends: 1, Kind: FaultTruncate})
+	payload := make([]byte, 4096)
+	if err := fa.Send(Message{Type: MsgExtent, Arg: ExtentArg(0, 1), Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Send(Message{Type: MsgExtent, Arg: ExtentArg(4, 2), Payload: payload}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("truncated send: %v", err)
+	}
+	if m, err := b.Recv(); err != nil || len(m.Payload) != 4096 {
+		t.Fatalf("clean frame: %d bytes, %v", len(m.Payload), err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatalf("truncated frame lost entirely: %v", err)
+	}
+	if len(m.Payload) != 2048 {
+		t.Fatalf("truncated frame carries %d bytes, want 2048", len(m.Payload))
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Fatal("link survived the truncation")
+	}
+}
+
+// TestFaultScriptSequence: multiple faults on one conn fire in script order
+// (half-close first, then a full cut on the receive side).
+func TestFaultScriptSequence(t *testing.T) {
+	a, b := NewPipe(16)
+	fa := NewScriptedFaultConn(a,
+		Fault{AfterSends: 2, Kind: FaultHalfClose},
+		Fault{AfterRecvs: 1, Kind: FaultCut},
+	)
+	for i := 0; i < 2; i++ {
+		if err := fa.Send(Message{Type: MsgBlockData}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fa.Send(Message{Type: MsgBlockData}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("half-close trigger: %v", err)
+	}
+	if err := b.Send(Message{Type: MsgPullRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Recv(); err != nil {
+		t.Fatalf("recv before second fault: %v", err)
+	}
+	if _, err := fa.Recv(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second fault: %v", err)
+	}
+	if err := fa.Send(Message{Type: MsgBlockData}); !errors.Is(err, ErrInjected) {
+		t.Fatal("conn alive after full cut")
+	}
+}
+
+// TestLegacyFaultConnSemantics: the one-shot constructor still means "N
+// operations succeed, the next fails and severs".
+func TestLegacyFaultConnSemantics(t *testing.T) {
+	a, _ := NewPipe(16)
+	fa := NewFaultConn(a, 3, 0)
+	for i := 0; i < 3; i++ {
+		if err := fa.Send(Message{Type: MsgBlockData}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := fa.Send(Message{Type: MsgBlockData}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("4th send: %v", err)
+	}
+}
+
+// TestInjectorEpochs: the injector applies scripts to successive
+// connections in order and leaves later epochs clean.
+func TestInjectorEpochs(t *testing.T) {
+	inj := NewInjector(
+		[]Fault{{AfterSends: 1, Kind: FaultCut}},
+		nil,
+	)
+	a1, _ := NewPipe(4)
+	c1 := inj.Wrap(a1)
+	if _, ok := c1.(*FaultConn); !ok {
+		t.Fatal("epoch 0 not fault-wrapped")
+	}
+	a2, b2 := NewPipe(4)
+	c2 := inj.Wrap(a2)
+	if _, ok := c2.(*FaultConn); ok {
+		t.Fatal("epoch 1 should run clean")
+	}
+	a3, _ := NewPipe(4)
+	c3 := inj.Wrap(a3)
+	if _, ok := c3.(*FaultConn); ok {
+		t.Fatal("epochs past the script should run clean")
+	}
+	if inj.Epochs() != 3 {
+		t.Fatalf("injector wrapped %d epochs, want 3", inj.Epochs())
+	}
+	// sanity: the clean epoch passes traffic
+	if err := c2.Send(Message{Type: MsgBlockData, Arg: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := b2.Recv(); err != nil || m.Arg != 7 {
+		t.Fatalf("clean epoch: %v %v", m, err)
+	}
+}
+
+// TestSessionTokenAndResumeFrames covers the session handshake primitives:
+// token uniqueness, frame round-trip, and epoch/token validation.
+func TestSessionTokenAndResumeFrames(t *testing.T) {
+	t1, err := NewSessionToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := NewSessionToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 == t2 {
+		t.Fatal("two minted tokens collide")
+	}
+	m := ResumeFrame(t1, 3)
+	epoch, err := ParseResume(m, t1, 2)
+	if err != nil || epoch != 3 {
+		t.Fatalf("ParseResume: %d, %v", epoch, err)
+	}
+	if _, err := ParseResume(m, t2, 2); err == nil {
+		t.Fatal("wrong token accepted")
+	}
+	if _, err := ParseResume(m, t1, 3); err == nil {
+		t.Fatal("stale epoch accepted")
+	}
+	if _, err := ParseResume(Message{Type: MsgHello}, t1, 0); err == nil {
+		t.Fatal("non-resume frame accepted")
+	}
+	if _, err := TokenFromBytes([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short token accepted")
+	}
+}
+
+// TestSwappableRebind: a rebind closes the old conn and routes subsequent
+// traffic over the new one.
+func TestSwappableRebind(t *testing.T) {
+	a1, b1 := NewPipe(4)
+	sw := NewSwappable(a1)
+	if err := sw.Send(Message{Type: MsgBlockData, Arg: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := b1.Recv(); m.Arg != 1 {
+		t.Fatal("pre-rebind frame misrouted")
+	}
+	a2, b2 := NewPipe(4)
+	sw.Rebind(a2)
+	if _, err := b1.Recv(); err == nil {
+		t.Fatal("old conn still open after rebind")
+	}
+	if err := sw.Send(Message{Type: MsgBlockData, Arg: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := b2.Recv(); m.Arg != 2 {
+		t.Fatal("post-rebind frame misrouted")
+	}
+	if sw.Current() != a2 {
+		t.Fatal("Current does not report the rebound conn")
+	}
+}
+
+// TestIsConnError classifies retryable link failures vs protocol errors.
+func TestIsConnError(t *testing.T) {
+	for _, err := range []error{ErrInjected, ErrClosed} {
+		if !IsConnError(err) {
+			t.Errorf("%v should be a conn error", err)
+		}
+	}
+	if IsConnError(nil) {
+		t.Error("nil classified as conn error")
+	}
+	if IsConnError(errors.New("core: protocol violation")) {
+		t.Error("generic error classified as conn error")
+	}
+}
+
+// TestFaultHalfCloseOnRecv: armed via AfterRecvs, a half-close kills only
+// the receive direction; sends keep flowing.
+func TestFaultHalfCloseOnRecv(t *testing.T) {
+	a, b := NewPipe(16)
+	fa := NewScriptedFaultConn(a, Fault{AfterRecvs: 1, Kind: FaultHalfClose})
+	if err := b.Send(Message{Type: MsgPullRequest, Arg: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Recv(); err != nil {
+		t.Fatalf("recv before trigger: %v", err)
+	}
+	if _, err := fa.Recv(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("recv at trigger: %v", err)
+	}
+	if _, err := fa.Recv(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("recv stays dead: %v", err)
+	}
+	// Send direction survives.
+	if err := fa.Send(Message{Type: MsgBlockData, Arg: 7}); err != nil {
+		t.Fatalf("send over recv-half-closed conn: %v", err)
+	}
+	if m, err := b.Recv(); err != nil || m.Arg != 7 {
+		t.Fatalf("peer recv: %v %v", m, err)
+	}
+}
+
+// TestFaultTruncateOnRecv: armed via AfterRecvs, the triggering frame is
+// read truncated and the link then dies.
+func TestFaultTruncateOnRecv(t *testing.T) {
+	a, b := NewPipe(16)
+	fb := NewScriptedFaultConn(b, Fault{AfterRecvs: 1, Kind: FaultTruncate})
+	payload := make([]byte, 4096)
+	for i := 0; i < 2; i++ {
+		if err := a.Send(Message{Type: MsgExtent, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m, err := fb.Recv(); err != nil || len(m.Payload) != 4096 {
+		t.Fatalf("clean frame: %d bytes, %v", len(m.Payload), err)
+	}
+	m, err := fb.Recv()
+	if err != nil {
+		t.Fatalf("truncated frame lost entirely: %v", err)
+	}
+	if len(m.Payload) != 2048 {
+		t.Fatalf("truncated frame carries %d bytes, want 2048", len(m.Payload))
+	}
+	if _, err := fb.Recv(); !errors.Is(err, ErrInjected) {
+		t.Fatal("link survived the recv truncation")
+	}
+}

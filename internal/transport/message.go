@@ -92,6 +92,17 @@ const (
 	// stream count. Exchanged raw, before any framing decorators, by
 	// DialStriped/AcceptStriped. Never seen by the engine.
 	MsgStripeHello
+	// MsgSessionResume is the first frame of a reconnecting source: Arg is
+	// the new session epoch (monotonically increasing per reconnect) and the
+	// payload the 16-byte session token negotiated in the original
+	// handshake. Sent raw on the fresh connection, before any decorators,
+	// so the accepting layer can route it to the interrupted migration.
+	MsgSessionResume
+	// MsgSessionAck accepts a session resume: Arg echoes the epoch and the
+	// payload carries the destination's progress state (which phase it
+	// reached, which iterations it has fully received), so both sides agree
+	// on exactly which blocks are still owed.
+	MsgSessionAck
 )
 
 // String implements fmt.Stringer.
@@ -105,6 +116,7 @@ func (t MsgType) String() string {
 		MsgDone: "DONE", MsgError: "ERROR",
 		MsgResumed: "RESUMED", MsgDelta: "DELTA", MsgAnnounce: "ANNOUNCE",
 		MsgExtent: "EXTENT", MsgStripeBarrier: "STRIPE_BARRIER", MsgStripeHello: "STRIPE_HELLO",
+		MsgSessionResume: "SESSION_RESUME", MsgSessionAck: "SESSION_ACK",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -209,6 +221,11 @@ func (g *Geometry) UnmarshalBinary(data []byte) error {
 
 // ProtocolVersion is carried in MsgHello.Arg; mismatches abort the migration.
 const ProtocolVersion = 1
+
+// HelloAckResume is set in MsgHelloAck.Arg when the destination accepts the
+// session token a resumable source appended to its HELLO payload. A zero Arg
+// (the seed wire format) declines: the session runs fail-fast.
+const HelloAckResume uint64 = 1 << 0
 
 // MaxExtentBlocks bounds the block count of one MsgExtent frame: 2^24-1
 // blocks (64 GiB of 4 KiB blocks), far above anything MaxPayload admits, so

@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// DefaultResumeWait is the suggested AcceptResume timeout for daemon
+// layers: long enough for a source's full exponential backoff ladder, short
+// enough that a permanently dead source releases the destination.
+const DefaultResumeWait = 2 * time.Minute
+
+// This file is the transport half of resumable migration: session tokens,
+// the raw resume/ack frame exchange that precedes a rebound connection, and
+// the error classification that separates retryable link failures from
+// protocol errors.
+
+// SessionToken identifies one resumable migration across reconnects. It is
+// minted by the source, carried in the extended HELLO payload, and echoed in
+// every MsgSessionResume so the accepting layer can route a fresh connection
+// to the interrupted session.
+type SessionToken [16]byte
+
+// NewSessionToken mints a random token.
+func NewSessionToken() (SessionToken, error) {
+	var t SessionToken
+	if _, err := rand.Read(t[:]); err != nil {
+		return t, fmt.Errorf("transport: session token: %w", err)
+	}
+	return t, nil
+}
+
+// TokenFromBytes parses a 16-byte token payload.
+func TokenFromBytes(b []byte) (SessionToken, error) {
+	var t SessionToken
+	if len(b) != len(t) {
+		return t, fmt.Errorf("transport: session token %d bytes, want %d", len(b), len(t))
+	}
+	copy(t[:], b)
+	return t, nil
+}
+
+// ResumeFrame builds the raw first frame of a reconnecting source.
+func ResumeFrame(token SessionToken, epoch uint32) Message {
+	return Message{Type: MsgSessionResume, Arg: uint64(epoch), Payload: token[:]}
+}
+
+// ParseResume validates a MsgSessionResume frame against the expected token
+// and the last seen epoch, returning the frame's epoch.
+func ParseResume(m Message, token SessionToken, lastEpoch uint32) (uint32, error) {
+	if m.Type != MsgSessionResume {
+		return 0, fmt.Errorf("transport: expected SESSION_RESUME, got %v", m.Type)
+	}
+	got, err := TokenFromBytes(m.Payload)
+	if err != nil {
+		return 0, err
+	}
+	if got != token {
+		return 0, errors.New("transport: session token mismatch")
+	}
+	epoch := uint32(m.Arg)
+	if epoch <= lastEpoch {
+		return 0, fmt.Errorf("transport: stale session epoch %d (have %d)", epoch, lastEpoch)
+	}
+	return epoch, nil
+}
+
+// AcceptResume accepts connections from l until one opens with a valid
+// MsgSessionResume for token, returning it with the frame's epoch.
+// Non-matching connections are closed and the wait continues — a dest-side
+// layer parks here while its engine waits to be rebound. A positive timeout
+// bounds the whole wait (via the listener's deadline, when it has one), so
+// a source that died for good cannot park the destination forever while
+// this loop eats every unrelated connection the listener receives.
+func AcceptResume(l net.Listener, token SessionToken, lastEpoch uint32, timeout time.Duration) (Conn, uint32, error) {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := l.(deadliner); ok && timeout > 0 {
+		d.SetDeadline(time.Now().Add(timeout))
+		defer d.SetDeadline(time.Time{})
+	}
+	for {
+		conn, err := Accept(l)
+		if err != nil {
+			return nil, 0, err
+		}
+		m, err := conn.Recv()
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		epoch, err := ParseResume(m, token, lastEpoch)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		return conn, epoch, nil
+	}
+}
+
+// Swappable is a Conn whose underlying connection can be replaced after a
+// reconnect. A resumable migration builds its decorator stack (meter,
+// compression) above one Swappable, so metering and policy state survive the
+// rebind while the dead link below is swapped out. The caller must quiesce
+// its own send path before Rebind; a racing operation on the old connection
+// simply fails and is retried by the resume machinery.
+type Swappable struct {
+	cur atomicConn
+}
+
+// atomicConn is a tiny atomic box for a Conn.
+type atomicConn struct {
+	mu sync.Mutex
+	c  Conn
+}
+
+func (a *atomicConn) load() Conn {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.c
+}
+
+func (a *atomicConn) store(c Conn) Conn {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	old := a.c
+	a.c = c
+	return old
+}
+
+// NewSwappable wraps c.
+func NewSwappable(c Conn) *Swappable {
+	s := &Swappable{}
+	s.cur.store(c)
+	return s
+}
+
+// Rebind replaces the underlying connection, closing the old one.
+func (s *Swappable) Rebind(c Conn) {
+	if old := s.cur.store(c); old != nil {
+		old.Close()
+	}
+}
+
+// Current returns the live underlying connection.
+func (s *Swappable) Current() Conn { return s.cur.load() }
+
+// Send implements Conn.
+func (s *Swappable) Send(m Message) error { return s.cur.load().Send(m) }
+
+// Recv implements Conn.
+func (s *Swappable) Recv() (Message, error) { return s.cur.load().Recv() }
+
+// Close implements Conn.
+func (s *Swappable) Close() error { return s.cur.load().Close() }
+
+// IsConnError reports whether err looks like a connection failure — the
+// retryable class a resumable migration survives — as opposed to a protocol
+// or device error, which aborts. Injected faults, closed pipes, EOFs, and
+// net-layer errors all count.
+func IsConnError(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrInjected) || errors.Is(err, ErrClosed) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, io.ErrClosedPipe) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
