@@ -83,6 +83,24 @@
 // runs add only the token to the HELLO payload; with resumption disabled
 // the wire format is byte-identical to the seed protocol.
 //
+// # Cluster orchestration
+//
+// internal/cluster manages a fleet of host daemons above all of this: a
+// placement engine scores destinations by free capacity, migration load,
+// and link bandwidth; an admission-controlled scheduler runs many
+// concurrent migrations under per-host and fleet-wide caps with priority
+// queues and queued-job cancellation; and Drain/Rebalance build maintenance
+// operations on both. Concurrent migrations share the network through a
+// RateBudget: each one's Config carries a BudgetPolicy whose pacing verdict
+// is re-read on every paced frame, so the per-migration share re-splits
+// live as migrations start and finish. Drains can pre-sync each domain's
+// divergence to its target while the guest keeps running (hostd.SyncOut),
+// shrinking the cutover to the recent write set — the paper's Incremental
+// Migration applied to planned maintenance. cmd/bbcluster demonstrates the
+// drain/rebalance/status verbs on an in-process fleet, and `bbench -exp
+// cluster` sweeps evacuation makespan and per-VM downtime against scheduler
+// concurrency at paper scale.
+//
 // # Negotiated vs local configuration
 //
 // Two Config fields change the wire framing and must match on both
@@ -139,6 +157,18 @@ type AdaptivePolicy = core.AdaptivePolicy
 
 // IterationStat summarizes one pre-copy iteration for policy decisions.
 type IterationStat = core.IterationStat
+
+// RateBudget divides a global pre-copy bandwidth budget among the
+// migrations currently drawing from it (the cluster orchestrator's shared
+// allocator).
+type RateBudget = core.RateBudget
+
+// NewRateBudget returns a budget of total bytes/second; <= 0 disables it.
+var NewRateBudget = core.NewRateBudget
+
+// BudgetPolicy decorates a Policy so a migration's pre-copy pacing follows
+// a shared RateBudget, re-read live on every paced frame.
+type BudgetPolicy = core.BudgetPolicy
 
 // Event is one typed progress notification; see Config.OnEvent.
 type Event = core.Event

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDrainVerb(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-domains", "2", "-blocks", "256", "-pages", "16", "-presync", "drain", "host1"}, &out)
+	if err != nil {
+		t.Fatalf("drain verb: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"drained host1", "presync", "cutover iter1    0 blk", "draining"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRebalanceVerb(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-hosts", "2", "-domains", "2", "-blocks", "256", "-pages", "16", "rebalance"}, &out)
+	if err != nil {
+		t.Fatalf("rebalance verb: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "rebalanced in") {
+		t.Fatalf("output missing rebalance summary:\n%s", out.String())
+	}
+}
+
+func TestStatusVerbAndErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"status"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fleet status") {
+		t.Fatalf("status output:\n%s", out.String())
+	}
+	if err := run([]string{"explode"}, &out); err == nil {
+		t.Fatal("unknown verb accepted")
+	}
+	if err := run([]string{"drain"}, &out); err == nil {
+		t.Fatal("drain without a host accepted")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("missing verb accepted")
+	}
+}

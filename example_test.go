@@ -7,7 +7,10 @@ import (
 	"bbmig"
 	"bbmig/internal/blkback"
 	"bbmig/internal/blockdev"
+	"bbmig/internal/cluster"
+	"bbmig/internal/hostd"
 	"bbmig/internal/vm"
+	"bbmig/internal/workload"
 )
 
 // Example migrates a small VM between two in-process hosts and verifies the
@@ -50,4 +53,43 @@ func Example() {
 	// disks identical: true
 	// gate synchronized: true
 	// destination running: running
+}
+
+// Example_cluster drains a host through the cluster orchestrator: three
+// registered machines, two domains on the first, one Drain call that
+// places, pre-syncs, and migrates every guest off it over loopback TCP.
+func Example_cluster() {
+	fleet := cluster.New(cluster.Options{
+		GlobalBandwidth: 200e6, // concurrent migrations share 200 MB/s
+	})
+	hosts := make([]*hostd.Machine, 3)
+	for i := range hosts {
+		hosts[i] = hostd.NewMachine(fmt.Sprintf("rack%d", i))
+		if err := fleet.Register(hosts[i], cluster.MemberOptions{Capacity: 4}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, name := range []string{"vm-a", "vm-b"} {
+		if _, err := hosts[0].CreateDomain(name, 1024, 64, workload.Web, 1, false); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := fleet.Drain("rack0", cluster.DrainOptions{PreSync: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mv := range res.Moves {
+		if mv.Err != nil {
+			log.Fatal(mv.Err)
+		}
+		fmt.Printf("%s -> pre-synced %d blocks, cutover iteration 1 sent %d\n",
+			mv.Domain, mv.Sync.Blocks, mv.Report.DiskIterations[0].Units)
+	}
+	fmt.Println("rack0 hosts", hosts[0].Load().Domains, "domains; evacuees spread:",
+		hosts[1].Load().Domains+hosts[2].Load().Domains)
+	// Output:
+	// vm-a -> pre-synced 1024 blocks, cutover iteration 1 sent 0
+	// vm-b -> pre-synced 1024 blocks, cutover iteration 1 sent 0
+	// rack0 hosts 0 domains; evacuees spread: 2
 }

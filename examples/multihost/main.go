@@ -1,9 +1,16 @@
-// Multihost: the paper's §VII future-work scenario made concrete. Three
-// host daemons (the Domain0 toolstack role) pass a live web-serving VM
-// around office → lab → datacenter → office over real TCP. The per-domain
-// vault travels with the VM, so every hop to a host that already holds an
-// old copy of the disk is automatically incremental — not just the straight
-// A→B→A round trip the paper's IM implementation supported.
+// Multihost: the paper's §VII future-work scenario made concrete, then
+// pushed one layer up. Three host daemons (the Domain0 toolstack role) pass
+// a live web-serving VM around office → lab → datacenter → office over real
+// TCP; the per-domain vault travels with the VM, so every hop to a host that
+// already holds an old copy of the disk is automatically incremental — not
+// just the straight A→B→A round trip the paper's IM implementation
+// supported.
+//
+// The second act is cluster maintenance: the office host must go down, so
+// the fleet's orchestrator (internal/cluster) drains it — every hosted
+// domain is pre-synced to a placement-chosen target while still running,
+// then cut over incrementally. The toured webvm's evacuation is nearly free:
+// both remaining hosts already hold old copies.
 //
 //	go run ./examples/multihost
 package main
@@ -13,6 +20,7 @@ import (
 	"log"
 	"time"
 
+	"bbmig/internal/cluster"
 	"bbmig/internal/core"
 	"bbmig/internal/hostd"
 	"bbmig/internal/transport"
@@ -77,8 +85,49 @@ func main() {
 	if !ok {
 		log.Fatal("webvm lost")
 	}
-	d.StopWorkload()
 	fmt.Printf("\nwebvm finished its tour on %s, VM %v, disk footprint %d blocks\n",
 		office.Name, d.VM().State(), d.Disk().WrittenBlocks())
 	fmt.Println("every revisit transferred only the divergence — the paper's §VII goal")
+
+	// --- Act two: planned maintenance. The office host must go down, so the
+	// cluster orchestrator drains it: every hosted domain is pre-synced to a
+	// scored target while still serving, then cut over incrementally.
+	for _, name := range []string{"batchvm", "buildvm"} {
+		if _, err := office.CreateDomain(name, blocks, pages, workload.Stream, 2, true); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fleet := cluster.New(cluster.Options{
+		GlobalBandwidth: 400e6, // shared pre-copy budget for the drain
+		BaseConfig:      core.Config{MaxExtentBlocks: 64},
+	})
+	for _, m := range []*hostd.Machine{office, lab, dc} {
+		if err := fleet.Register(m, cluster.MemberOptions{Capacity: 4}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("\noffice needs maintenance: draining %d domains through the orchestrator\n",
+		office.Load().Domains)
+	res, err := fleet.Drain("office", cluster.DrainOptions{PreSync: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mv := range res.Moves {
+		if mv.Err != nil {
+			log.Fatalf("drain move %s: %v", mv.Domain, mv.Err)
+		}
+		fmt.Printf("%-8s → %-10s presync %5d blocks, cutover iteration 1: %4d blocks, downtime %2d ms\n",
+			mv.Domain, mv.Target, mv.Sync.Blocks, mv.Report.DiskIterations[0].Units, mv.Report.Downtime.Milliseconds())
+	}
+	fmt.Printf("office drained in %v; it now hosts %d domains and may power off\n",
+		res.Makespan.Round(time.Millisecond), office.Load().Domains)
+	for _, m := range []*hostd.Machine{lab, dc} {
+		for _, name := range m.Domains() {
+			if d, ok := m.Domain(name); ok {
+				d.StopWorkload()
+			}
+		}
+	}
+	fmt.Println("the orchestrator placed, budgeted, and pre-synced every move — the paper's building block at fleet scale")
 }

@@ -84,13 +84,16 @@ func (r *RateLimiter) Wait(n int) time.Duration {
 	if n <= 0 {
 		return 0
 	}
-	if r.bytesPerSec == Unlimited {
-		return 0
-	}
 	var slept time.Duration
 	remaining := int64(n)
 	for remaining > 0 {
 		r.mu.Lock()
+		// Re-read under the lock: SetRate may retune a limiter mid-wait
+		// (concurrent sends share one limiter), including to Unlimited.
+		if r.bytesPerSec == Unlimited {
+			r.mu.Unlock()
+			return slept
+		}
 		r.refillLocked()
 		chunk := remaining
 		if chunk > r.burst {

@@ -92,9 +92,17 @@ func (t *transfer) runPhases(phases ...phase) error {
 }
 
 // send transmits m, applying the pre-copy pacing cap when limited is true
-// and feeding the progress heartbeat.
+// and feeding the progress heartbeat. The policy's pacing verdict is
+// re-consulted per paced frame, so a policy whose rate moves over time — a
+// BudgetPolicy re-sharing a cluster-wide budget as migrations come and go —
+// takes effect mid-iteration. Rate changes are honoured only when the
+// migration started with a finite rate (otherwise no limiter exists to
+// retune, keeping the unlimited path identical to the seed's).
 func (t *transfer) send(m transport.Message, limited bool) error {
 	if limited && t.limiter != nil {
+		if rate := t.pol.PrecopyRate(t.cfg.BandwidthLimit); rate > 0 && rate != t.limiter.Rate() {
+			t.limiter.SetRate(rate)
+		}
 		t.limiter.Wait(m.FrameSize())
 	}
 	if err := t.conn.Send(m); err != nil {

@@ -80,6 +80,24 @@ func (v *Vault) RecordWriteRange(lo, hi int) {
 	}
 }
 
+// DivergePeer folds bm into one peer's divergence set, registering the peer
+// if new. This is the rollback path for a failed pre-sync: only the peer
+// that missed the blocks is re-diverged, unlike RecordWrites which charges
+// every peer.
+func (v *Vault) DivergePeer(name string, bm *bitmap.Bitmap) {
+	if bm.Len() != v.numBlocks {
+		panic(fmt.Sprintf("core: vault size %d, bitmap %d", v.numBlocks, bm.Len()))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	cur, ok := v.peers[name]
+	if !ok {
+		cur = bitmap.New(v.numBlocks)
+		v.peers[name] = cur
+	}
+	cur.Union(bm)
+}
+
 // InitialFor returns the bitmap to seed a migration to peer with: its
 // divergence set if known, otherwise all-set (full migration). The returned
 // bitmap is a copy.
