@@ -65,6 +65,26 @@
 // observed shrink ratio; on a latency-bound link it recovers the hand-tuned
 // configuration's throughput without anyone picking constants.
 //
+// # Content-addressed deduplication
+//
+// The block-bitmap deduplicates positionally — a block dirtied many times
+// ships once per iteration. Config.Dedup deduplicates by content: during
+// disk pre-copy the source adverts each extent's per-block fingerprints
+// (SHA-256/128), the destination answers with a want-bitmap naming the
+// content it cannot already produce, and everything else travels as
+// 16-byte references materialized from the destination's fingerprint
+// index — retained peer copies, clone siblings' disks, blocks received
+// earlier in the same migration, and the implicit zero block (all-zero
+// runs are elided without even a round trip). The index is advisory and
+// verify-on-read: a stale or corrupt-loaded entry degrades to a literal
+// send, never to wrong bytes. hostd maintains one index per machine
+// (persisted alongside its retained disks), so evacuating a fleet of
+// template-provisioned clones between the same hosts ships fingerprints
+// instead of images — `bbench -exp dedup` models a clone-fleet evacuation
+// moving 5-10x fewer bytes. Dedup is negotiated like Streams and
+// CompressLevel: hostd carries it in the announce; raw engine users pass
+// -dedup (bbmig) or Config.Dedup on both sides.
+//
 // # Fault tolerance and resumable migration
 //
 // By default a connection failure is fatal, matching the seed protocol.
@@ -103,13 +123,13 @@
 //
 // # Negotiated vs local configuration
 //
-// Two Config fields change the wire framing and must match on both
-// endpoints: Streams and CompressLevel. The hostd layer negotiates both
-// automatically in its announce frame (a mismatched receiver refuses before
-// the engine handshake); raw engine users pass matching values on both
-// sides. Everything else — thresholds, Workers, MaxExtentBlocks,
-// BandwidthLimit, Policy, OnEvent and the lifecycle hooks — is local-only
-// and may differ freely between endpoints.
+// Three Config fields change the wire framing and must match on both
+// endpoints: Streams, CompressLevel, and Dedup. The hostd layer negotiates
+// all three automatically in its announce frame (a mismatched receiver
+// refuses before the engine handshake); raw engine users pass matching
+// values on both sides. Everything else — thresholds, Workers,
+// MaxExtentBlocks, BandwidthLimit, Policy, OnEvent and the lifecycle
+// hooks — is local-only and may differ freely between endpoints.
 //
 // Subpackages (internal/...) hold the substrates: bitmap, blockdev, blkback,
 // transport, vm, workload, metrics, and the paper-scale simulator sim. The
@@ -121,6 +141,7 @@ package bbmig
 import (
 	"bbmig/internal/bitmap"
 	"bbmig/internal/core"
+	"bbmig/internal/dedup"
 	"bbmig/internal/metrics"
 	"bbmig/internal/transport"
 )
@@ -169,6 +190,20 @@ var NewRateBudget = core.NewRateBudget
 // BudgetPolicy decorates a Policy so a migration's pre-copy pacing follows
 // a shared RateBudget, re-read live on every paced frame.
 type BudgetPolicy = core.BudgetPolicy
+
+// DedupIndex is the destination-side content-fingerprint index consulted
+// under Config.Dedup; share one per machine so retained and clone-sibling
+// disks deduplicate across migrations (hostd does exactly this).
+type DedupIndex = dedup.Index
+
+// NewDedupIndex returns an empty content index for the given block size.
+var NewDedupIndex = dedup.NewIndex
+
+// Fingerprint is one block's content hash (SHA-256 truncated to 128 bits).
+type Fingerprint = dedup.Fingerprint
+
+// FingerprintOf fingerprints a block's content.
+var FingerprintOf = dedup.Of
 
 // Event is one typed progress notification; see Config.OnEvent.
 type Event = core.Event

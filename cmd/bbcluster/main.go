@@ -12,7 +12,9 @@
 // pre-copy budget the in-flight migrations share, -max-total/-per-host set
 // the scheduler's concurrency caps, -presync runs the incremental pre-sync
 // leg before each drain cutover, -retries sets each migration's resume
-// budget, and -live runs the synthetic guest workloads during the verb.
+// budget, -dedup negotiates content-addressed transfer on every migration
+// (each machine answers adverts from its shared fingerprint index), and
+// -live runs the synthetic guest workloads during the verb.
 package main
 
 import (
@@ -48,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	perHost := fs.Int("per-host", cluster.DefaultMaxPerHost, "per-host concurrent migration cap")
 	maxTotal := fs.Int("max-total", cluster.DefaultMaxTotal, "fleet-wide concurrent migration cap")
 	presync := fs.Bool("presync", false, "pre-sync each drain move so the cutover ships only the recent write set")
+	dedupFlag := fs.Bool("dedup", false, "negotiate content-addressed dedup on every migration and pre-sync")
 	retries := fs.Int("retries", cluster.DefaultDrainRetries, "per-migration reconnect/resume budget")
 	live := fs.Bool("live", false, "run the synthetic guest workloads during the verb")
 	seed := fs.Int64("seed", 1, "workload seed")
@@ -63,7 +66,7 @@ func run(args []string, out io.Writer) error {
 		GlobalBandwidth: int64(*budgetMB * 1e6),
 		MaxPerHost:      *perHost,
 		MaxTotal:        *maxTotal,
-		BaseConfig:      core.Config{MaxExtentBlocks: 64, MaxRetries: *retries},
+		BaseConfig:      core.Config{MaxExtentBlocks: 64, MaxRetries: *retries, Dedup: *dedupFlag},
 	})
 	var machines []*hostd.Machine
 	for i := 1; i <= *hosts; i++ {

@@ -34,6 +34,15 @@
 // pre-copy iterations, wire-byte heartbeats, suspend/resume, post-copy
 // pulls) as the migration runs.
 //
+// Content-addressed dedup: -dedup (both ends must pass it, like -streams)
+// replaces literal disk transfer with the hash-advert/want-bitmap/reference
+// protocol — all-zero blocks are elided outright and any block whose
+// content the receiver can already produce (received earlier in the same
+// migration, or present on its disk) travels as a 16-byte reference:
+//
+//	bbmig -mode recv -listen :7011 -image guest.img -dedup
+//	bbmig -mode send -addr dst:7011 -image guest.img -dedup
+//
 // Fault tolerance: -max-retries N makes the sender survive up to N
 // connection failures by resuming the negotiated session — the receiver
 // always offers a reconnect path — re-sending only the blocks the receiver
@@ -81,6 +90,7 @@ func main() {
 		streams   = flag.Int("streams", 1, "parallel transport connections (both ends must agree)")
 		extentBlk = flag.Int("extent-blocks", 1, "send: max contiguous blocks coalesced per frame")
 		workers   = flag.Int("workers", 1, "send: read/send pipeline workers; recv: scatter-write workers")
+		dedupFlag = flag.Bool("dedup", false, "content-addressed dedup: ship block fingerprints and references instead of known bytes (both ends must agree)")
 		initialBM = flag.String("initial-bitmap", "", "send: bitmap file selecting blocks for an incremental migration")
 		freshBM   = flag.String("fresh-bitmap", "", "recv: file to save the fresh-write bitmap to (enables a later IM back)")
 		retries   = flag.Int("max-retries", 0, "send: survive this many connection failures by resuming the session (0 = fail fast)")
@@ -96,7 +106,7 @@ func main() {
 	}
 	opts := xferOpts{
 		streams: *streams, extentBlocks: *extentBlk, workers: *workers,
-		compressLevel: level, progress: *progress,
+		compressLevel: level, dedup: *dedupFlag, progress: *progress,
 		maxRetries: *retries, retryBackoff: *backoff, journalPath: *journal,
 	}
 	var err error
@@ -153,6 +163,7 @@ type xferOpts struct {
 	extentBlocks  int
 	workers       int
 	compressLevel int
+	dedup         bool
 	progress      bool
 	maxRetries    int
 	retryBackoff  time.Duration
@@ -166,6 +177,7 @@ func (o xferOpts) config() core.Config {
 		MaxExtentBlocks: o.extentBlocks,
 		Workers:         o.workers,
 		CompressLevel:   o.compressLevel,
+		Dedup:           o.dedup,
 		MaxRetries:      o.maxRetries,
 		RetryBackoff:    o.retryBackoff,
 		JournalPath:     o.journalPath,

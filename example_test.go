@@ -93,3 +93,51 @@ func Example_cluster() {
 	// vm-b -> pre-synced 1024 blocks, cutover iteration 1 sent 0
 	// rack0 hosts 0 domains; evacuees spread: 2
 }
+
+// Example_dedup migrates a template-provisioned VM with content-addressed
+// deduplication (Config.Dedup): half the disk cycles 8 template payloads,
+// the rest was never written. Each template payload crosses the wire once,
+// its repeats travel as 16-byte references, and the zero half is elided
+// outright — yet the destination disk is byte-identical. hostd shares one
+// DedupIndex per machine, so a second clone migrating to the same host
+// would arrive almost entirely by reference.
+func Example_dedup() {
+	const blocks, pages, domain = 2048, 16, 1
+
+	srcDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+	buf := make([]byte, blockdev.BlockSize)
+	for n := 0; n < blocks/2; n++ {
+		buf[0] = byte(n%8) + 1 // 8 distinct template payloads, endlessly repeated
+		srcDisk.WriteBlock(n, buf)
+	}
+	guest := vm.New("clone", domain, pages, 512)
+	src := bbmig.Host{VM: guest, Backend: blkback.NewBackend(srcDisk, domain)}
+
+	dstDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+	dst := bbmig.Host{VM: vm.NewDestination(guest), Backend: blkback.NewBackend(dstDisk, domain)}
+
+	cfg := bbmig.Config{Dedup: true, MaxExtentBlocks: 64}
+	connSrc, connDst := bbmig.NewPipe(64)
+	repCh := make(chan *bbmig.Report, 1)
+	go func() {
+		rep, err := bbmig.MigrateSource(cfg, src, connSrc, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		repCh <- rep
+	}()
+	if _, err := bbmig.MigrateDest(cfg, dst, connDst); err != nil {
+		log.Fatal(err)
+	}
+	rep := <-repCh
+
+	diffs, _ := blockdev.Diff(srcDisk, dstDisk)
+	fmt.Println("disks identical:", len(diffs) == 0)
+	fmt.Println("blocks by reference:", rep.DedupBlocks)
+	fmt.Println("moved less than a tenth of the image:",
+		rep.MigratedBytes*10 < int64(blocks)*blockdev.BlockSize)
+	// Output:
+	// disks identical: true
+	// blocks by reference: 1984
+	// moved less than a tenth of the image: true
+}

@@ -91,6 +91,40 @@ func TestPlacementScoring(t *testing.T) {
 	}
 }
 
+// TestPlacementContentOverlap pins the content-overlap weight: with
+// otherwise-equal candidates, the host retaining the moving domain's disk
+// wins placement (the move there is incremental and content-deduplicable),
+// beating the lexicographic tiebreak that would otherwise pick the earlier
+// name. Domain-less placement ignores the signal.
+func TestPlacementContentOverlap(t *testing.T) {
+	c := New(Options{})
+	ms := newFleet(t, c, 3, 4)
+	// host2 once hosted g and migrated it to host0, so host2 retains g's
+	// disk; host1 is an equally empty cold candidate.
+	addDomain(t, ms[2], "g", 8)
+	tk, err := c.Submit(Job{Domain: "g", From: "host2", To: "host0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if _, err := c.Heartbeat(m.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ms[2].Load().Retained; len(got) != 1 || got[0] != "g" {
+		t.Fatalf("host2 retained = %v, want [g]", got)
+	}
+	if got, err := c.PlaceDomain("g", "host0"); err != nil || got != "host2" {
+		t.Fatalf("PlaceDomain(g) = %s, %v; want host2 (retains g)", got, err)
+	}
+	if got, err := c.Place("host0"); err != nil || got != "host1" {
+		t.Fatalf("Place without domain = %s, %v; want host1 (lexicographic)", got, err)
+	}
+}
+
 func TestPlacementStaleness(t *testing.T) {
 	now := time.Unix(1000, 0)
 	c := New(Options{

@@ -131,7 +131,7 @@ func (c *Cluster) Drain(host string, opts DrainOptions) (*DrainResult, error) {
 		if err != nil && !opts.ReplaceDisabled {
 			// Re-place away from the failed target and try once more.
 			exclude := append([]string{mv.Target}, opts.Exclude...)
-			if to, perr := c.Place(host, exclude...); perr == nil {
+			if to, perr := c.PlaceDomain(f.domain, host, exclude...); perr == nil {
 				if t2, serr := c.Submit(Job{
 					Domain: f.domain, From: host, To: to, Priority: PriorityEvacuate,
 					PreSync: opts.PreSync, Config: &cfg,

@@ -4,16 +4,23 @@ import "fmt"
 
 // Placement scoring weights. A candidate's score is
 //
-//	capacityWeight · headroom/capacity  −  loadPenalty · migrations  +  linkWeight · link/bestLink
+//	capacityWeight · headroom/capacity  −  loadPenalty · migrations
+//	  +  linkWeight · link/bestLink  +  overlapWeight · contentOverlap
 //
 // so free capacity dominates, each in-flight migration on the host costs a
-// quarter of a fully free host, and link bandwidth breaks near-ties toward
-// the fastest pipe. Ties resolve to the lexicographically first name, so
-// placement is deterministic for tests and reproducible sweeps.
+// quarter of a fully free host, link bandwidth breaks near-ties toward the
+// fastest pipe, and — when the moving domain is known — a host that retains
+// that domain's disk earns a content-overlap bonus: the migration there is
+// both positionally incremental (the vault seeds it) and content-addressed
+// (the fingerprint index answers adverts from the retained copy), so it
+// ships a fraction of the bytes a cold host would cost. Ties resolve to the
+// lexicographically first name, so placement is deterministic for tests and
+// reproducible sweeps.
 const (
 	capacityWeight = 1.0
 	loadPenalty    = 0.25
 	linkWeight     = 0.1
+	overlapWeight  = 0.3
 )
 
 // Place picks the best destination for migrating a domain off `from`,
@@ -21,23 +28,31 @@ const (
 // reservations. Hosts that are the source, excluded, draining, stale, at
 // their concurrency cap, or out of domain capacity are not candidates; with
 // no candidate left an error is returned (a queued job retries placement at
-// every dispatch).
+// every dispatch). Use PlaceDomain when the moving domain is known — it
+// additionally weights content overlap.
 func (c *Cluster) Place(from string, exclude ...string) (string, error) {
+	return c.PlaceDomain("", from, exclude...)
+}
+
+// PlaceDomain is Place with the moving domain named, so candidates that
+// retain that domain's disk collect the content-overlap bonus. An empty
+// domain degrades to plain Place scoring.
+func (c *Cluster) PlaceDomain(domain, from string, exclude ...string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ex := make(map[string]bool, len(exclude))
 	for _, n := range exclude {
 		ex[n] = true
 	}
-	m, err := c.placeLocked(from, ex)
+	m, err := c.placeLocked(domain, from, ex)
 	if err != nil {
 		return "", err
 	}
 	return m.name, nil
 }
 
-// placeLocked implements Place under c.mu.
-func (c *Cluster) placeLocked(from string, exclude map[string]bool) (*member, error) {
+// placeLocked implements PlaceDomain under c.mu.
+func (c *Cluster) placeLocked(domain, from string, exclude map[string]bool) (*member, error) {
 	candidates := make([]*member, 0, len(c.members))
 	bestLink := 0.0
 	for _, m := range c.members {
@@ -73,9 +88,27 @@ func (c *Cluster) placeLocked(from string, exclude map[string]bool) (*member, er
 		if bestLink > 0 {
 			score += linkWeight * m.linkBps / bestLink
 		}
+		score += overlapWeight * contentOverlap(m, domain)
 		if best == nil || score > bestScore || (score == bestScore && m.name < best.name) {
 			best, bestScore = m, score
 		}
 	}
 	return best, nil
+}
+
+// contentOverlap estimates how much of the moving domain's content a
+// candidate already holds, in [0, 1]. A retained copy of the very domain is
+// the strongest signal the heartbeat carries (hostd.Load.Retained): the
+// vault makes the move incremental and the fingerprint index answers its
+// adverts from the retained disk.
+func contentOverlap(m *member, domain string) float64 {
+	if domain == "" {
+		return 0
+	}
+	for _, name := range m.load.Retained {
+		if name == domain {
+			return 1
+		}
+	}
+	return 0
 }

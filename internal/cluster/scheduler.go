@@ -286,7 +286,7 @@ func (c *Cluster) admitLocked(t *Ticket) bool {
 		}
 	} else {
 		var err error
-		if dst, err = c.placeLocked(t.job.From, nil); err != nil {
+		if dst, err = c.placeLocked(t.job.Domain, t.job.From, nil); err != nil {
 			return false // no destination right now; retry at next dispatch
 		}
 	}

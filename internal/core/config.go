@@ -14,6 +14,7 @@ import (
 
 	"bbmig/internal/blkback"
 	"bbmig/internal/clock"
+	"bbmig/internal/dedup"
 	"bbmig/internal/transport"
 	"bbmig/internal/vm"
 )
@@ -57,11 +58,12 @@ type ReconnectFunc func(token transport.SessionToken, lastEpoch uint32) (transpo
 
 // Config parameterizes a migration.
 //
-// Two fields are negotiated — both endpoints must agree or the handshake
-// fails: Streams (the striped connection count) and CompressLevel (the
-// stream compression setting). The hostd layer negotiates both automatically
-// through its announce frame; raw engine users (cmd/bbmig, tests) must pass
-// matching values on both sides. Every other field is local-only: stop
+// Three fields are negotiated — both endpoints must agree or the handshake
+// fails: Streams (the striped connection count), CompressLevel (the stream
+// compression setting), and Dedup (content-addressed transfer). The hostd
+// layer negotiates all three automatically through its announce frame; raw
+// engine users (cmd/bbmig, tests) must pass matching values on both sides.
+// Every other field is local-only: stop
 // conditions, Workers, MaxExtentBlocks, BandwidthLimit, Policy, and the
 // OnEvent/OnFreeze/OnResume hooks all produce frames any destination
 // accepts.
@@ -113,6 +115,39 @@ type Config struct {
 	// announce frame and rejects mismatches before the engine handshake.
 	// Zero (the default) keeps the seed's uncompressed wire format.
 	CompressLevel int
+
+	// Dedup, when true, enables content-addressed deduplication for disk
+	// pre-copy traffic: the source adverts each extent's per-block
+	// fingerprints (MsgHashAdvert), the destination answers with a
+	// want-bitmap (MsgHashWant) naming the blocks whose content it cannot
+	// already produce, and everything else travels as 16-byte references
+	// (MsgBlockRef) materialized from the destination's fingerprint index —
+	// retained peer copies, clone siblings' disks, blocks received earlier
+	// in this migration, and the implicit zero block. All-zero runs are
+	// elided without a round trip. Like Streams and CompressLevel this is
+	// negotiated — both endpoints must agree or the destination rejects the
+	// unexpected frames; hostd carries it in the announce and an
+	// unconfigured receiver adopts the sender's choice. The Policy's
+	// DedupExtent verdict gates the round trip per extent. The dedup send
+	// path is sequential (Workers does not parallelize it), and memory
+	// pages, freeze-and-copy, and post-copy pushes always travel literally.
+	// False (the default) keeps the seed wire format byte for byte.
+	Dedup bool
+
+	// DedupIndex is the destination-side fingerprint index consulted to
+	// answer hash adverts (ignored on the source). Nil with Dedup set
+	// builds a fresh per-migration index, which still elides zero blocks
+	// and deduplicates repeated content within the migration; hostd passes
+	// its machine-wide index so retained and clone-sibling disks dedup
+	// across migrations. The index may be shared between concurrent
+	// migrations — it is concurrency-safe and verify-on-read.
+	DedupIndex *dedup.Index
+
+	// DedupName is the source name under which the destination's own VBD is
+	// registered (and its received blocks observed) in DedupIndex; empty
+	// selects "self". hostd passes a stable per-domain name so the
+	// observations outlive the migration.
+	DedupName string
 
 	// Policy owns the transfer decisions the engine otherwise freezes in
 	// constants: pre-copy stop conditions, the live extent coalescing limit,

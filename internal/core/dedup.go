@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"bbmig/internal/bitmap"
+	"bbmig/internal/blockdev"
+	"bbmig/internal/dedup"
+	"bbmig/internal/transport"
+)
+
+// This file is the engine half of content-addressed transfer (Config.Dedup):
+// the source-side dedup send path that replaces literal extent sends during
+// disk pre-copy, and the destination-side advert/reference appliers wired
+// into the receive loop. The protocol per extent is strictly alternating —
+// one MsgHashAdvert, one MsgHashWant reply, then the extent's literal
+// sub-runs and MsgBlockRef sub-runs — so at most one advert is ever
+// outstanding and a reference only ever names a fingerprint from the advert
+// that immediately precedes it (or the implicit zero fingerprint, which
+// needs no advert at all). Memory pages, freeze-and-copy, and post-copy
+// pushes are never deduplicated.
+
+// sendExtentsDedup is the dedup counterpart of sendExtentsSeq: it walks bm's
+// runs with a cursor, fingerprints each extent, elides all-zero runs
+// outright, and otherwise — when the policy agrees the round trip is worth
+// it — adverts the fingerprints and sends only what the destination wants
+// literally. The path is sequential by design: the advert/want alternation
+// is a per-extent round trip, so a worker pool would just reorder waits.
+func (t *transfer) sendExtentsDedup(bm *bitmap.Bitmap, phaseName string, limited bool) (int, int64, error) {
+	dev := t.host.Backend.Device()
+	bs := dev.BlockSize()
+	zero := dedup.ZeroFingerprint(bs)
+	var buf []byte
+	var fps []dedup.Fingerprint
+	sent := 0
+	var bytes int64
+	for pos := 0; ; {
+		maxExt := t.extentBlocks(phaseName)
+		ext := bm.NextExtent(pos, maxExt)
+		if ext.Count == 0 {
+			return sent, bytes, nil
+		}
+		if need := ext.Count * bs; cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		data := buf[:ext.Count*bs]
+		extStart := t.clk.Now()
+		fps = fps[:0]
+		allZero := true
+		for k := 0; k < ext.Count; k++ {
+			blk := data[k*bs : (k+1)*bs]
+			if err := dev.ReadBlock(ext.Start+k, blk); err != nil {
+				return sent, bytes, err
+			}
+			fp := dedup.Of(blk)
+			fps = append(fps, fp)
+			if fp != zero {
+				allZero = false
+			}
+		}
+		wire, err := t.sendDedupExtent(ext, data, fps, allZero, phaseName, limited)
+		if err != nil {
+			return sent, bytes, err
+		}
+		t.pol.ObserveExtent(ext.Count, wire, t.clk.Now()-extStart)
+		sent += ext.Count
+		bytes += wire
+		pos = ext.End()
+	}
+}
+
+// sendDedupExtent moves one extent under the dedup protocol and returns the
+// wire bytes it cost.
+func (t *transfer) sendDedupExtent(ext bitmap.Extent, data []byte, fps []dedup.Fingerprint, allZero bool, phaseName string, limited bool) (int64, error) {
+	bs := t.host.Backend.Device().BlockSize()
+	arg := transport.ExtentArg(ext.Start, ext.Count)
+	if allZero {
+		// Zero elision: the destination materializes zeros with no round
+		// trip and no staging — the zero fingerprint is always resolvable.
+		m := transport.Message{Type: transport.MsgBlockRef, Arg: arg, Payload: dedup.AppendFingerprints(nil, fps)}
+		if err := t.send(m, limited); err != nil {
+			return 0, err
+		}
+		t.dedupBlocks += ext.Count
+		return int64(m.FrameSize()), nil
+	}
+	if !t.pol.DedupExtent(phaseName, ext.Count) {
+		m := extentMessage(ext, data)
+		return int64(m.FrameSize()), t.send(m, limited)
+	}
+	adv := transport.Message{Type: transport.MsgHashAdvert, Arg: arg, Payload: dedup.AppendFingerprints(nil, fps)}
+	if err := t.send(adv, limited); err != nil {
+		return 0, err
+	}
+	wire := int64(adv.FrameSize())
+	want, err := t.awaitWant(arg)
+	if err != nil {
+		return wire, err
+	}
+	if len(want) != dedup.WantLen(ext.Count) {
+		return wire, fmt.Errorf("core: want bitmap %d bytes for %d-block advert", len(want), ext.Count)
+	}
+	// Walk the want bitmap as maximal same-verdict runs: wanted runs travel
+	// as literals (single blocks keep the seed's MsgBlockData form),
+	// unwanted runs as fingerprint references.
+	err = dedup.WalkWant(ext.Count, want, func(off, n int, wanted bool) error {
+		sub := bitmap.Extent{Start: ext.Start + off, Count: n}
+		var m transport.Message
+		if wanted {
+			m = extentMessage(sub, data[off*bs:(off+n)*bs])
+		} else {
+			m = transport.Message{
+				Type:    transport.MsgBlockRef,
+				Arg:     transport.ExtentArg(sub.Start, sub.Count),
+				Payload: dedup.AppendFingerprints(nil, fps[off:off+n]),
+			}
+			t.dedupBlocks += sub.Count
+		}
+		if err := t.send(m, limited); err != nil {
+			return err
+		}
+		wire += int64(m.FrameSize())
+		return nil
+	})
+	return wire, err
+}
+
+// --- Destination side ---
+
+// destDedup is one migration's destination-side dedup session: the
+// fingerprint index consulted for adverts, the content staged between an
+// advert and its references, and the name the destination VBD's own blocks
+// are observed under.
+type destDedup struct {
+	idx   *dedup.Index
+	self  string
+	stage map[dedup.Fingerprint][]byte
+	refs  int // blocks materialized by reference (Report.DedupBlocks)
+}
+
+// newDestDedup builds the session state, registering the destination VBD as
+// a lookup source so content received earlier in the migration deduplicates
+// later iterations.
+func newDestDedup(cfg Config, dev blockdev.Device) (*destDedup, error) {
+	idx := cfg.DedupIndex
+	if idx == nil {
+		idx = dedup.NewIndex(dev.BlockSize())
+	}
+	name := cfg.DedupName
+	if name == "" {
+		name = "self"
+	}
+	if err := idx.RegisterSource(name, dev); err != nil {
+		return nil, err
+	}
+	return &destDedup{idx: idx, self: name}, nil
+}
+
+// observe records one applied block's content in the index. Called from
+// scatter-pool workers for literals and inline for references; the index is
+// concurrency-safe.
+func (dd *destDedup) observe(block int, data []byte) {
+	dd.idx.Observe(dd.self, block, dedup.Of(data))
+}
+
+// checkFPExtent validates a MsgHashAdvert/MsgBlockRef frame against the
+// prepared VBD and decodes its fingerprints.
+func (t *transfer) checkFPExtent(m transport.Message) (bitmap.Extent, []dedup.Fingerprint, error) {
+	start, count := transport.ExtentSplit(m.Arg)
+	dev := t.host.Backend.Device()
+	if count < 1 || start < 0 || start+count > dev.NumBlocks() {
+		return bitmap.Extent{}, nil, fmt.Errorf("core: dedup extent [%d,+%d) outside %d-block VBD", start, count, dev.NumBlocks())
+	}
+	fps, err := dedup.ParseFingerprints(m.Payload, count)
+	if err != nil {
+		return bitmap.Extent{}, nil, err
+	}
+	return bitmap.Extent{Start: start, Count: count}, fps, nil
+}
+
+// handleAdvert answers one MsgHashAdvert through Index.Answer. Runs under
+// drainOn, so every earlier literal is applied — and observed — before the
+// lookup.
+func (d *destRun) handleAdvert(m transport.Message) error {
+	_, fps, err := d.checkFPExtent(m)
+	if err != nil {
+		return err
+	}
+	want, stage := d.dd.idx.Answer(fps)
+	// Replace the previous advert's staging wholesale: references only ever
+	// name the immediately preceding advert (or zero), so older staged
+	// content can no longer be referenced.
+	d.dd.stage = stage
+	return d.destSend(transport.Message{Type: transport.MsgHashWant, Arg: m.Arg, Payload: want})
+}
+
+// applyBlockRef materializes one MsgBlockRef run through Index.Materialize.
+// An unresolvable fingerprint is a protocol error — the source only sends
+// references for content this destination claimed, so reaching it means
+// the claim expired mid-extent; failing the migration (and letting the
+// retry path re-send) is the only answer that cannot write wrong bytes.
+func (d *destRun) applyBlockRef(m transport.Message) error {
+	ext, fps, err := d.checkFPExtent(m)
+	if err != nil {
+		return err
+	}
+	dev := d.host.Backend.Device()
+	for k, fp := range fps {
+		content, ok := d.dd.idx.Materialize(d.dd.stage, fp)
+		if !ok {
+			return fmt.Errorf("core: block ref %d names content this host cannot produce", ext.Start+k)
+		}
+		if err := dev.WriteBlock(ext.Start+k, content); err != nil {
+			return fmt.Errorf("core: apply block ref %d: %w", ext.Start+k, err)
+		}
+		d.dd.idx.Observe(d.dd.self, ext.Start+k, fp)
+	}
+	d.dd.refs += ext.Count
+	d.noteRecvBlocks(ext.Start, ext.End())
+	return nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bbmig/internal/blockdev"
+	"bbmig/internal/dedup"
+	"bbmig/internal/workload"
+)
+
+// templateDisk rewrites the env's source disk (and shadow) into a
+// clone-fleet shape: the first three quarters cycle through `distinct`
+// template contents, the last quarter is all zeros — the §IV-A-2 dedup
+// argument taken from positional to content identity.
+func templateDisk(t *testing.T, e *env, distinct int) {
+	t.Helper()
+	buf := make([]byte, blockdev.BlockSize)
+	filled := testBlocks * 3 / 4
+	for n := 0; n < testBlocks; n++ {
+		if n < filled {
+			workload.FillBlock(buf, n%distinct, 7)
+		} else {
+			clear(buf)
+		}
+		if err := e.srcDisk.WriteBlock(n, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.shadow.WriteBlock(n, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDedupEquivalence migrates the same template-shaped VM with and
+// without content dedup: the destination must end byte-identical, and the
+// dedup'd run must move at least 5x fewer wire bytes (the clone-fleet
+// acceptance bar) because repeated template content ships once and the zero
+// quarter ships as references only.
+func TestDedupEquivalence(t *testing.T) {
+	run := func(cfg Config) (int64, int, int) {
+		e := newEnv(t)
+		templateDisk(t, e, 16)
+		rep, res := e.runTPM(cfg, nil)
+		e.checkConverged(res.CPU)
+		return rep.MigratedBytes, rep.DedupBlocks, res.Report.DedupBlocks
+	}
+	baseBytes, baseDedup, _ := run(Config{})
+	if baseDedup != 0 {
+		t.Fatalf("literal run reported %d dedup blocks", baseDedup)
+	}
+	dedupBytes, srcDedup, dstDedup := run(Config{Dedup: true})
+	if srcDedup == 0 || srcDedup != dstDedup {
+		t.Fatalf("dedup accounting: source %d, destination %d", srcDedup, dstDedup)
+	}
+	if srcDedup < testBlocks/2 {
+		t.Fatalf("only %d of %d blocks travelled by reference", srcDedup, testBlocks)
+	}
+	if dedupBytes*5 > baseBytes {
+		t.Fatalf("dedup moved %d bytes vs %d literal — less than the 5x bar", dedupBytes, baseBytes)
+	}
+}
+
+// TestDedupTransferShapes runs the dedup protocol under the non-default
+// transfer shapes it must compose with — extent coalescing, compression,
+// and a striped bundle — requiring byte-identical convergence each time.
+func TestDedupTransferShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"coalesced16", Config{Dedup: true, MaxExtentBlocks: 16}},
+		{"compressed", Config{Dedup: true, MaxExtentBlocks: 16, CompressLevel: -1}},
+		{"striped4", Config{Dedup: true, MaxExtentBlocks: 16, Streams: 4}},
+		{"adaptive", Config{Dedup: true, Policy: &AdaptivePolicy{}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEnv(t)
+			templateDisk(t, e, 16)
+			e.useStriped(tc.cfg.Streams)
+			rep, res := e.runTPM(tc.cfg, nil)
+			e.checkConverged(res.CPU)
+			if rep.DedupBlocks == 0 {
+				t.Fatal("no blocks travelled by reference")
+			}
+		})
+	}
+}
+
+// TestDedupUnderWorkload races a verified write workload against a dedup'd
+// migration: the shadow-truth check proves reference materialization never
+// writes stale or wrong bytes even while the dirty set churns.
+func TestDedupUnderWorkload(t *testing.T) {
+	e := newEnv(t)
+	templateDisk(t, e, 16)
+	gen := workload.NewWebServer(testBlocks, 23)
+	stopIO := make(chan struct{})
+	stopMem := make(chan struct{})
+	var replayErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, replayErr = workload.Replay(clockReal(), gen, testDomain, time.Hour, 200, e.submitVerified, stopIO)
+	}()
+	go memDirtier(e.src.VM.Memory(), 32, stopMem)
+
+	cfg := Config{Dedup: true, MaxExtentBlocks: 8}
+	cfg.OnFreeze = func() {
+		close(stopMem)
+		e.router.Freeze()
+	}
+	cfg.OnResume = e.router.ResumeGate
+	_, res := e.runTPM(cfg, nil)
+	close(stopIO)
+	wg.Wait()
+	if replayErr != nil {
+		t.Fatalf("workload: %v", replayErr)
+	}
+	e.checkConverged(res.CPU)
+}
+
+// TestDedupSharedIndexAcrossMigrations is the clone-fleet scenario at engine
+// level: two template siblings migrate into the same destination index, and
+// the second must ride the content the first already landed.
+func TestDedupSharedIndexAcrossMigrations(t *testing.T) {
+	idx := dedup.NewIndex(blockdev.BlockSize)
+	run := func(name string, distinct int) (int64, int) {
+		e := newEnv(t)
+		templateDisk(t, e, distinct)
+		cfg := Config{Dedup: true, DedupIndex: idx, DedupName: name}
+		rep, res := e.runTPM(cfg, nil)
+		e.checkConverged(res.CPU)
+		return rep.MigratedBytes, rep.DedupBlocks
+	}
+	// Many distinct contents: the first clone seeds the index.
+	firstBytes, _ := run("disk/web1", 512)
+	// The sibling carries the same 512 template contents: every disk block
+	// should arrive by reference against web1's landed copy. What remains
+	// of the wire is dominated by the (never deduplicated) memory pages.
+	secondBytes, secondRefs := run("disk/web2", 512)
+	if secondRefs != testBlocks {
+		t.Fatalf("sibling moved %d of %d blocks by reference", secondRefs, testBlocks)
+	}
+	if secondBytes*2 > firstBytes {
+		t.Fatalf("sibling moved %d bytes vs first clone's %d — index not shared", secondBytes, firstBytes)
+	}
+}
+
+// TestDedupMismatchFailsCleanly pins the negotiation contract for raw
+// engine users: a dedup sender against a literal receiver must error out on
+// both sides, not corrupt anything.
+func TestDedupMismatchFailsCleanly(t *testing.T) {
+	e := newEnv(t)
+	srcCh := make(chan error, 1)
+	go func() {
+		_, err := MigrateSource(Config{Dedup: true}, e.src, e.connSrc, nil)
+		srcCh <- err
+	}()
+	if _, err := MigrateDest(Config{}, e.dst, e.connDst); err == nil {
+		t.Fatal("literal destination accepted dedup frames")
+	}
+	if err := <-srcCh; err == nil {
+		t.Fatal("dedup source completed against a literal destination")
+	}
+}
+
+// TestDedupZeroElision pins the no-round-trip path: an all-zero disk must
+// travel as references alone, with wire bytes a small fraction of capacity.
+func TestDedupZeroElision(t *testing.T) {
+	e := newEnv(t)
+	buf := make([]byte, blockdev.BlockSize)
+	for n := 0; n < testBlocks; n += 3 {
+		if err := e.srcDisk.WriteBlock(n, buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.shadow.WriteBlock(n, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, res := e.runTPM(Config{Dedup: true, MaxExtentBlocks: 64}, nil)
+	e.checkConverged(res.CPU)
+	if rep.DedupBlocks != testBlocks {
+		t.Fatalf("%d of %d zero blocks elided", rep.DedupBlocks, testBlocks)
+	}
+	if capacity := int64(testBlocks) * blockdev.BlockSize; rep.MigratedBytes*4 > capacity {
+		t.Fatalf("zero disk still moved %d of %d bytes", rep.MigratedBytes, capacity)
+	}
+}

@@ -51,6 +51,7 @@ type destRun struct {
 	*transfer
 
 	sc          *scatterPool
+	dd          *destDedup     // content-dedup session (nil unless negotiated)
 	transferred *bitmap.Bitmap // the freeze bitmap, set during pre-copy receive
 	postStart   time.Duration
 
@@ -99,6 +100,13 @@ func (d *destRun) run() (*DestResult, error) {
 	rep := &metrics.Report{Scheme: "TPM-dest"}
 	res := &DestResult{Report: rep}
 	d.destState = d.progressSnapshot
+	if d.cfg.Dedup {
+		dd, err := newDestDedup(d.cfg, d.host.Backend.Device())
+		if err != nil {
+			return res, err
+		}
+		d.dd = dd
+	}
 
 	// Data frames are handed to the scatter pool; every control frame drains
 	// it first, so iteration boundaries order cross-iteration rewrites
@@ -115,6 +123,9 @@ func (d *destRun) run() (*DestResult, error) {
 		return res, err
 	}
 
+	if d.dd != nil {
+		rep.DedupBlocks = d.dd.refs
+	}
 	gs := res.Gate.Stats()
 	rep.PostCopyTime = d.clk.Now() - d.postStart
 	rep.TotalTime = d.clk.Now() - d.start
@@ -168,7 +179,7 @@ func (d *destRun) preCopyReceive() error {
 			return nil
 		}
 	}
-	err := d.recvLoop(transport.MsgResume, frameHandlers{
+	handlers := frameHandlers{
 		transport.MsgIterStart:    d.drainOn(diskIterStart),
 		transport.MsgIterEnd:      d.drainOn(iterEnd(func(p *destProgress, it uint32) { p.diskIters = it })),
 		transport.MsgMemIterStart: d.drainOn(memIterStart),
@@ -180,7 +191,15 @@ func (d *destRun) preCopyReceive() error {
 		}),
 		transport.MsgBlockData: func(m transport.Message) error {
 			d.noteRecvBlocks(int(m.Arg), int(m.Arg)+1)
-			return d.scatterApply(func() error { return d.applyBlock(m) })
+			return d.scatterApply(func() error {
+				if err := d.applyBlock(m); err != nil {
+					return err
+				}
+				if d.dd != nil {
+					d.dd.observe(int(m.Arg), m.Payload)
+				}
+				return nil
+			})
 		},
 		transport.MsgExtent: func(m transport.Message) error {
 			ext, err := d.checkExtent(m)
@@ -192,8 +211,12 @@ func (d *destRun) preCopyReceive() error {
 			payload, bs := m.Payload, dev.BlockSize()
 			return d.scatterApply(func() error {
 				for k := 0; k < ext.Count; k++ {
-					if err := dev.WriteBlock(ext.Start+k, payload[k*bs:(k+1)*bs]); err != nil {
+					blk := payload[k*bs : (k+1)*bs]
+					if err := dev.WriteBlock(ext.Start+k, blk); err != nil {
 						return fmt.Errorf("core: apply block %d: %w", ext.Start+k, err)
+					}
+					if d.dd != nil {
+						d.dd.observe(ext.Start+k, blk)
 					}
 				}
 				return nil
@@ -220,7 +243,16 @@ func (d *destRun) preCopyReceive() error {
 			d.noteProgress(func(p *destProgress) { p.flags |= destBitmapSeen })
 			return nil
 		}),
-	})
+	}
+	if d.dd != nil {
+		// Both dedup frames drain the scatter pool first: an advert's index
+		// lookups must see every literal already applied (and observed), and
+		// a reference materialized from this VBD must not race a queued
+		// write to its backing block.
+		handlers[transport.MsgHashAdvert] = d.drainOn(d.handleAdvert)
+		handlers[transport.MsgBlockRef] = d.drainOn(d.applyBlockRef)
+	}
+	err := d.recvLoop(transport.MsgResume, handlers)
 	if err != nil {
 		return err
 	}

@@ -90,6 +90,16 @@ type Policy interface {
 	// to pre-copy traffic only — freeze-and-copy and post-copy are never
 	// throttled.
 	PrecopyRate(configured int64) int64
+
+	// DedupExtent reports whether the source should attempt content
+	// deduplication — a hash-advert/want-bitmap round trip — for a disk
+	// extent of the given phase and block count. Consulted only when
+	// Config.Dedup was negotiated; a false verdict sends the extent
+	// literally, which every dedup-negotiated destination accepts, so the
+	// verdict is a local latency/bandwidth trade (tiny extents can cost
+	// more in round trip than they save in bytes). All-zero runs are elided
+	// regardless of the verdict — they need no round trip.
+	DedupExtent(phase string, blocks int) bool
 }
 
 // DefaultPolicy reproduces the paper's fixed behavior: stop conditions from
@@ -128,6 +138,11 @@ func (DefaultPolicy) ObserveCompression(transport.MsgType, int, int) {}
 
 // PrecopyRate returns the configured cap unchanged.
 func (DefaultPolicy) PrecopyRate(configured int64) int64 { return configured }
+
+// DedupExtent always attempts deduplication once Config.Dedup is
+// negotiated: the advert for even a single block costs 16 bytes plus a
+// round trip against a 4 KiB literal saved on a hit.
+func (DefaultPolicy) DedupExtent(string, int) bool { return true }
 
 // AdaptivePolicy tunes the transfer from observations instead of constants:
 //

@@ -77,6 +77,7 @@ type sourceRun struct {
 	resumedCh  chan time.Duration // destination resume observed (clock time)
 	doneCh     chan error
 	readerDone chan struct{}
+	wantCh     chan transport.Message // MsgHashWant replies (dedup sessions only)
 
 	// freeze-and-copy state carried between phases (and across reconnects)
 	freezeStart time.Duration
@@ -134,6 +135,7 @@ func (s *sourceRun) run(initial *bitmap.Bitmap) (*metrics.Report, error) {
 	}
 	rep.TotalTime = s.clk.Now() - s.start
 	rep.MigratedBytes = s.meter.BytesSent() + s.meter.BytesReceived()
+	rep.DedupBlocks = s.dedupBlocks
 
 	// Finite dependency achieved: the source copy can be shut down.
 	s.host.VM.Stop()
@@ -210,8 +212,33 @@ func (s *sourceRun) startup() error {
 	s.pullCh = make(chan int, 1024)
 	s.resumedCh = make(chan time.Duration, 1)
 	s.doneCh = make(chan error, 1)
+	if s.cfg.Dedup {
+		s.wantCh = make(chan transport.Message, 8)
+		s.awaitWant = s.waitWant
+	}
 	s.startReader()
 	return nil
+}
+
+// waitWant blocks until the destination's reply to the outstanding advert
+// arrives. Replies whose Arg does not echo the advert are stale — left over
+// from a connection epoch that died mid-round-trip — and are discarded. A
+// destination failure surfaces through doneCh exactly as in post-copy.
+func (s *sourceRun) waitWant(arg uint64) ([]byte, error) {
+	for {
+		select {
+		case m := <-s.wantCh:
+			if m.Arg != arg {
+				continue
+			}
+			return m.Payload, nil
+		case err := <-s.doneCh:
+			if err == nil {
+				err = fmt.Errorf("core: destination completed while an advert was outstanding")
+			}
+			return nil, err
+		}
+	}
 }
 
 func (s *sourceRun) startReader() {
@@ -279,6 +306,17 @@ func (s *sourceRun) reconnect(attempt int) error {
 			s.doneSeen = true
 		}
 	default:
+	}
+	// Drop advert replies from the dead epoch: the next runFromCursor
+	// re-adverts whatever it re-sends, and the destination stages against
+	// the newest advert only.
+	for s.wantCh != nil {
+		select {
+		case <-s.wantCh:
+			continue
+		default:
+		}
+		break
 	}
 
 	s.clk.Sleep(s.backoffFor(attempt))
@@ -612,6 +650,26 @@ func (s *sourceRun) readLoop(done chan struct{}) {
 		switch m.Type {
 		case transport.MsgPullRequest:
 			s.pullCh <- int(m.Arg)
+		case transport.MsgHashWant:
+			if s.wantCh == nil {
+				s.doneCh <- fmt.Errorf("core: HASH_WANT on a session without dedup")
+				return
+			}
+			// Non-blocking with drop-oldest: at most one advert is ever
+			// outstanding, so anything already buffered is a stale epoch's
+			// reply and the freshest frame is the one worth keeping.
+			for {
+				select {
+				case s.wantCh <- m:
+				default:
+					select {
+					case <-s.wantCh:
+					default:
+					}
+					continue
+				}
+				break
+			}
 		case transport.MsgResumed:
 			// Non-blocking: a retried RESUMED after a reconnect may duplicate
 			// one already latched.

@@ -47,6 +47,13 @@ type transfer struct {
 	destState  func() destProgress
 	ckpt       func(phase string, iter int, pending *bitmap.Bitmap)
 	resumeIter map[string]*iterResume
+
+	// content-dedup state (Config.Dedup). awaitWant is the source's
+	// advert-reply hook, wired by sourceRun.startup (the endpoint read loop
+	// routes MsgHashWant frames into it); nil selects the literal send
+	// paths. dedupBlocks counts blocks this source moved by reference.
+	awaitWant   func(arg uint64) ([]byte, error)
+	dedupBlocks int
 }
 
 // newTransfer decorates conn and assembles the substrate. cfg must already
@@ -245,6 +252,12 @@ func extentMessage(e bitmap.Extent, data []byte) transport.Message {
 // protocol; otherwise contiguous runs are coalesced into extents, either
 // inline or through a read→send worker pool.
 func (t *transfer) sendBlocks(bm *bitmap.Bitmap, phaseName string, limited bool) (int, int64, error) {
+	if t.cfg.Dedup && t.awaitWant != nil {
+		// Negotiated content dedup replaces the literal paths for disk
+		// sends; the advert/want alternation is inherently sequential, so
+		// Workers does not apply here.
+		return t.sendExtentsDedup(bm, phaseName, limited)
+	}
 	_, fixedPolicy := t.pol.(DefaultPolicy)
 	if t.cfg.Workers <= 1 && t.cfg.MaxExtentBlocks <= 1 && fixedPolicy {
 		dev := t.host.Backend.Device()

@@ -1,0 +1,151 @@
+package dedup
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+
+	"bbmig/internal/bitmap"
+)
+
+// Persisted index format, mirroring the checksum discipline of
+// bitmap/persist.go: magic, CRC-32 (IEEE) of the body, then the body —
+// block size, entry count, and per entry the fingerprint, source-name, and
+// block number. A torn or bit-rotted file fails the checksum and loads as
+// an error; callers treat that as an empty index, which degrades every
+// advert to "want the literal" (a full send). The verify-on-Lookup rule
+// makes even an *undetected* corruption safe: a wrong entry fails the
+// re-hash and is evicted, so persistence can never produce wrong bytes.
+var persistMagic = [4]byte{'B', 'B', 'D', '1'}
+
+// MarshalBinary serializes the index's observations (sources themselves are
+// live devices and are re-registered by the owner after a load).
+// Body layout: blockSize(8) | entryCount(8) | per entry:
+// fingerprint(16) nameLen(2) name block(8), entries in fingerprint order so
+// the wire form is deterministic.
+func (ix *Index) MarshalBinary() ([]byte, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	fps := make([]Fingerprint, 0, len(ix.entries))
+	for fp := range ix.entries {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool {
+		a, b := fps[i], fps[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	body := make([]byte, 16, 16+len(fps)*(FingerprintSize+10))
+	binary.LittleEndian.PutUint64(body[0:], uint64(ix.blockSize))
+	binary.LittleEndian.PutUint64(body[8:], uint64(len(fps)))
+	for _, fp := range fps {
+		l := ix.entries[fp]
+		if len(l.source) > 0xFFFF {
+			return nil, fmt.Errorf("dedup: source name %q too long", l.source[:32])
+		}
+		body = append(body, fp[:]...)
+		var hdr [2]byte
+		binary.LittleEndian.PutUint16(hdr[:], uint16(len(l.source)))
+		body = append(body, hdr[:]...)
+		body = append(body, l.source...)
+		var blk [8]byte
+		binary.LittleEndian.PutUint64(blk[:], uint64(l.block))
+		body = append(body, blk[:]...)
+	}
+	out := make([]byte, 8, 8+len(body))
+	copy(out, persistMagic[:])
+	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(body))
+	return append(out, body...), nil
+}
+
+// LoadBytes deserializes an index persisted by MarshalBinary. Any
+// truncation, checksum mismatch, or structural inconsistency is an error —
+// the caller starts from an empty index instead (full-send degradation).
+// The loaded index has no registered sources; RegisterSource re-attaches
+// the devices its entries reference, and entries whose source never
+// re-registers simply miss on Lookup.
+func LoadBytes(data []byte) (*Index, error) {
+	if len(data) < 8+16 {
+		return nil, fmt.Errorf("dedup: index truncated: %d bytes", len(data))
+	}
+	if [4]byte(data[:4]) != persistMagic {
+		return nil, fmt.Errorf("dedup: bad index magic %q", data[:4])
+	}
+	body := data[8:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[4:]) {
+		return nil, fmt.Errorf("dedup: index checksum mismatch (torn write?)")
+	}
+	blockSize := binary.LittleEndian.Uint64(body[0:])
+	count := binary.LittleEndian.Uint64(body[8:])
+	if blockSize == 0 || blockSize > 1<<30 {
+		return nil, fmt.Errorf("dedup: index block size %d", blockSize)
+	}
+	const maxEntries = 1 << 28 // structural sanity; 4 GiB of entries is corruption
+	if count > maxEntries {
+		return nil, fmt.Errorf("dedup: index entry count %d", count)
+	}
+	ix := NewIndex(int(blockSize))
+	off := 16
+	for i := uint64(0); i < count; i++ {
+		if len(body) < off+FingerprintSize+2 {
+			return nil, fmt.Errorf("dedup: index entry %d truncated", i)
+		}
+		var fp Fingerprint
+		copy(fp[:], body[off:])
+		off += FingerprintSize
+		nameLen := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if len(body) < off+nameLen+8 {
+			return nil, fmt.Errorf("dedup: index entry %d truncated", i)
+		}
+		name := string(body[off : off+nameLen])
+		off += nameLen
+		block := int(int64(binary.LittleEndian.Uint64(body[off:])))
+		off += 8
+		if block < 0 {
+			return nil, fmt.Errorf("dedup: index entry %d block %d", i, block)
+		}
+		if fp == ix.zero {
+			continue // the zero block is implicit; a stored one is harmless noise
+		}
+		ix.observeLocked(name, block, fp) // single-threaded here; lock not needed but harmless
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("dedup: index has %d trailing bytes", len(body)-off)
+	}
+	return ix, nil
+}
+
+// SaveFile persists the index atomically (temp + rename, checksummed), the
+// discipline every migration persistence path shares.
+func (ix *Index) SaveFile(path string) error {
+	data, err := ix.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := bitmap.AtomicWriteFile(path, data); err != nil {
+		return fmt.Errorf("dedup: save index: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads an index persisted by SaveFile. Corruption of any kind is
+// an error; the caller degrades to an empty index (full send), never to
+// wrong bytes.
+func LoadFile(path string) (*Index, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: load index: %w", err)
+	}
+	ix, err := LoadBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: load %s: %w", path, err)
+	}
+	return ix, nil
+}

@@ -25,6 +25,7 @@ import (
 	"bbmig/internal/blockdev"
 	"bbmig/internal/clock"
 	"bbmig/internal/core"
+	"bbmig/internal/dedup"
 	"bbmig/internal/metrics"
 	"bbmig/internal/transport"
 	"bbmig/internal/vm"
@@ -108,6 +109,15 @@ type Machine struct {
 	retained  map[string]*blockdev.MemDisk // disks of departed domains
 	migrating map[string]*core.ProgressTracker
 	nextID    int
+
+	// content-dedup state (see index.go): the machine-wide fingerprint
+	// index, which disk sources have been scanned into it, and where it is
+	// persisted. idxSaveMu serializes SaveIndex so concurrent migrations
+	// cannot interleave writes through the shared temp file.
+	idx        *dedup.Index
+	idxScanned map[string]*blockdev.MemDisk
+	idxPath    string
+	idxSaveMu  sync.Mutex
 }
 
 // NewMachine returns an empty Machine.
@@ -238,10 +248,11 @@ type announce struct {
 	streams  int
 	compress int
 	resume   bool
+	dedup    bool
 }
 
 // announceHeaderLen is the fixed prefix before the variable-length fields.
-const announceHeaderLen = 9
+const announceHeaderLen = 10
 
 func (a announce) marshal() ([]byte, error) {
 	gb, err := a.geom.MarshalBinary()
@@ -259,6 +270,9 @@ func (a announce) marshal() ([]byte, error) {
 	out[7] = byte(int8(a.compress)) // flate level, -2..9; 0 = uncompressed
 	if a.resume {
 		out[8] = 1
+	}
+	if a.dedup {
+		out[9] = 1 // capability byte: content-addressed dedup frames will flow
 	}
 	out = append(out, a.name...)
 	out = append(out, a.srcHost...)
@@ -281,6 +295,7 @@ func unmarshalAnnounce(data []byte) (announce, error) {
 	}
 	a.compress = int(int8(data[7]))
 	a.resume = data[8] == 1
+	a.dedup = data[9] == 1
 	const geomLen = 32
 	if len(data) != announceHeaderLen+nameLen+srcLen+geomLen {
 		return a, fmt.Errorf("hostd: announce length %d inconsistent", len(data))
@@ -327,6 +342,7 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 		streams:  streams,
 		compress: clampCompress(cfg.CompressLevel),
 		resume:   cfg.MaxRetries > 0,
+		dedup:    cfg.Dedup,
 	}
 	ab, err := ann.marshal()
 	if err != nil {
@@ -454,6 +470,15 @@ func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config
 		return nil, fmt.Errorf("hostd: compress level mismatch: sender %d, receiver %d", ann.compress, local)
 	}
 	cfg.CompressLevel = ann.compress
+	// Content dedup is a sender-declared capability the receiver adopts:
+	// any hostd can serve adverts from its machine index, so there is
+	// nothing to refuse. The index is readied before the engine runs so the
+	// first advert already sees every retained and clone-sibling disk.
+	cfg.Dedup = ann.dedup
+	if ann.dedup {
+		cfg.DedupIndex = m.prepareDedup()
+		cfg.DedupName = diskSourceName(ann.name)
+	}
 	// A resumable sender reconnects to the same listener; the accept loop
 	// parks there until a connection opens with the session's resume frame
 	// and hands it (and the vault that follows the engine exchange) to the
@@ -522,6 +547,18 @@ func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config
 	}
 	untrack := m.trackMigration(ann.name, &cfg)
 	defer untrack()
+	// A failed inbound migration discards the domain (and its half-written
+	// VBD, which the engine registered in the machine index); drop the
+	// registration too, or the abandoned disk stays pinned in — and keeps
+	// answering adverts from — the shared index.
+	hosted := false
+	if ann.dedup {
+		defer func() {
+			if !hosted {
+				m.dropIndexedDisk(ann.name)
+			}
+		}()
+	}
 	res, err := core.MigrateDest(cfg, core.Host{VM: shell, Backend: d.backend}, conn)
 	if err != nil {
 		return res, err
@@ -551,6 +588,13 @@ func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config
 	m.mu.Lock()
 	m.domains[ann.name] = d
 	m.mu.Unlock()
+	if ann.dedup {
+		hosted = true
+		// The engine observed every received block; no rescan needed. The
+		// persisted index now covers the new arrival too.
+		m.noteIndexed(ann.name)
+		_ = m.SaveIndex()
+	}
 	if d.hasWork {
 		d.startWorkload()
 	}

@@ -10,11 +10,14 @@ package hostd
 import (
 	"fmt"
 	"net"
+	"sort"
 	"time"
 
+	"bbmig/internal/bitmap"
 	"bbmig/internal/blockdev"
 	"bbmig/internal/clock"
 	"bbmig/internal/core"
+	"bbmig/internal/dedup"
 	"bbmig/internal/transport"
 )
 
@@ -32,6 +35,12 @@ type Load struct {
 	// RetainedDisks counts peer copies held for departed domains; a
 	// migration of one of those domains back here is incremental.
 	RetainedDisks int
+	// Retained names the domains whose peer copies this machine holds,
+	// sorted. The cluster's placement engine weights content overlap with
+	// it: migrating a domain toward a host that retains its disk is both
+	// positionally incremental (the vault) and content-deduplicable (the
+	// fingerprint index).
+	Retained []string
 }
 
 // Load reports the machine's current utilization.
@@ -43,6 +52,10 @@ func (m *Machine) Load() Load {
 		ActiveMigrations: len(m.migrating),
 		RetainedDisks:    len(m.retained),
 	}
+	for name := range m.retained {
+		l.Retained = append(l.Retained, name)
+	}
+	sort.Strings(l.Retained)
 	for _, d := range m.domains {
 		l.Blocks += int64(d.disk.NumBlocks())
 	}
@@ -57,6 +70,10 @@ type SyncReport struct {
 	Blocks int
 	// WireBytes is the total bytes sent, frame headers included.
 	WireBytes int64
+	// DedupBlocks counts the shipped blocks that travelled as 16-byte
+	// content references (or zero elisions) instead of literals — only with
+	// core.Config.Dedup set on the pre-sync.
+	DedupBlocks int
 	// Duration is the transfer's wall (or virtual-clock) time.
 	Duration time.Duration
 }
@@ -109,6 +126,7 @@ func (m *Machine) SyncOut(domainName, destHost, addr string, cfg core.Config) (*
 			PageSize: mem.PageSize(), NumPages: mem.NumPages(),
 		},
 		kind: d.workKind, work: d.hasWork, streams: 1,
+		dedup: cfg.Dedup,
 	}
 	ab, err := ann.marshal()
 	if err != nil {
@@ -154,6 +172,15 @@ func (m *Machine) SyncOut(domainName, destHost, addr string, cfg core.Config) (*
 		maxExt = limit
 	}
 	start := clk.Now()
+	send := func(msg transport.Message) error {
+		if limiter != nil {
+			if rate := pol.PrecopyRate(bw); rate > 0 && rate != limiter.Rate() {
+				limiter.SetRate(rate)
+			}
+			limiter.Wait(msg.FrameSize())
+		}
+		return meter.Send(msg)
+	}
 	buf := make([]byte, maxExt*bs)
 	for pos := 0; ; {
 		ext := bm.NextExtent(pos, maxExt)
@@ -166,18 +193,18 @@ func (m *Machine) SyncOut(domainName, destHost, addr string, cfg core.Config) (*
 				return fail(err)
 			}
 		}
-		msg := transport.Message{Type: transport.MsgExtent, Arg: transport.ExtentArg(ext.Start, ext.Count), Payload: data}
-		if ext.Count == 1 {
-			msg = transport.Message{Type: transport.MsgBlockData, Arg: uint64(ext.Start), Payload: data}
-		}
-		if limiter != nil {
-			if rate := pol.PrecopyRate(bw); rate > 0 && rate != limiter.Rate() {
-				limiter.SetRate(rate)
+		if cfg.Dedup {
+			if err := syncSendDedup(meter, send, pol, rep, ext, data, bs); err != nil {
+				return fail(err)
 			}
-			limiter.Wait(msg.FrameSize())
-		}
-		if err := meter.Send(msg); err != nil {
-			return fail(fmt.Errorf("hostd: sync send: %w", err))
+		} else {
+			msg := transport.Message{Type: transport.MsgExtent, Arg: transport.ExtentArg(ext.Start, ext.Count), Payload: data}
+			if ext.Count == 1 {
+				msg = transport.Message{Type: transport.MsgBlockData, Arg: uint64(ext.Start), Payload: data}
+			}
+			if err := send(msg); err != nil {
+				return fail(fmt.Errorf("hostd: sync send: %w", err))
+			}
 		}
 		rep.Blocks += ext.Count
 		pos = ext.End()
@@ -197,6 +224,62 @@ func (m *Machine) SyncOut(domainName, destHost, addr string, cfg core.Config) (*
 	rep.WireBytes = meter.BytesSent()
 	rep.Duration = clk.Now() - start
 	return rep, nil
+}
+
+// syncSendDedup moves one pre-sync extent under the content-dedup protocol:
+// all-zero runs and destination-held content travel as 16-byte references,
+// the rest as literals — the engine's advert/want/ref alternation
+// (docs/WIRE.md §10) with the want reply read inline, since the sync stream
+// has no concurrent reader.
+func syncSendDedup(conn transport.Conn, send func(transport.Message) error, pol core.Policy, rep *SyncReport, ext bitmap.Extent, data []byte, bs int) error {
+	zero := dedup.ZeroFingerprint(bs)
+	fps := make([]dedup.Fingerprint, ext.Count)
+	allZero := true
+	for k := range fps {
+		fps[k] = dedup.Of(data[k*bs : (k+1)*bs])
+		if fps[k] != zero {
+			allZero = false
+		}
+	}
+	arg := transport.ExtentArg(ext.Start, ext.Count)
+	if allZero {
+		rep.DedupBlocks += ext.Count
+		return send(transport.Message{Type: transport.MsgBlockRef, Arg: arg, Payload: dedup.AppendFingerprints(nil, fps)})
+	}
+	literal := func(sub bitmap.Extent, body []byte) transport.Message {
+		if sub.Count == 1 {
+			return transport.Message{Type: transport.MsgBlockData, Arg: uint64(sub.Start), Payload: body}
+		}
+		return transport.Message{Type: transport.MsgExtent, Arg: transport.ExtentArg(sub.Start, sub.Count), Payload: body}
+	}
+	if !pol.DedupExtent("pre-sync", ext.Count) {
+		return send(literal(ext, data))
+	}
+	if err := send(transport.Message{Type: transport.MsgHashAdvert, Arg: arg, Payload: dedup.AppendFingerprints(nil, fps)}); err != nil {
+		return err
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("hostd: sync want: %w", err)
+	}
+	if reply.Type != transport.MsgHashWant || reply.Arg != arg {
+		return fmt.Errorf("hostd: sync want: unexpected %v", reply.Type)
+	}
+	want := reply.Payload
+	if len(want) != dedup.WantLen(ext.Count) {
+		return fmt.Errorf("hostd: sync want bitmap %d bytes for %d blocks", len(want), ext.Count)
+	}
+	return dedup.WalkWant(ext.Count, want, func(off, n int, wanted bool) error {
+		sub := bitmap.Extent{Start: ext.Start + off, Count: n}
+		var m transport.Message
+		if wanted {
+			m = literal(sub, data[off*bs:(off+n)*bs])
+		} else {
+			m = transport.Message{Type: transport.MsgBlockRef, Arg: transport.ExtentArg(sub.Start, sub.Count), Payload: dedup.AppendFingerprints(nil, fps[off:off+n])}
+			rep.DedupBlocks += sub.Count
+		}
+		return send(m)
+	})
 }
 
 // ServeSync accepts exactly one inbound pre-sync on l and applies it to this
@@ -233,8 +316,27 @@ func (m *Machine) ServeSync(l net.Listener) (*SyncReport, error) {
 	}
 	m.mu.Unlock()
 
+	// A dedup'd sync answers adverts from the machine index; the synced
+	// disk itself is a registered source, so content the peer copy already
+	// holds elsewhere (or clone siblings hold) never retransmits.
+	var idx *dedup.Index
+	var stage map[dedup.Fingerprint][]byte
+	if ann.dedup {
+		idx = m.prepareDedup()
+	}
+	self := diskSourceName(ann.name)
+
 	rep := &SyncReport{Domain: ann.name}
 	bs := disk.BlockSize()
+	write := func(n int, data []byte) error {
+		if err := disk.WriteBlock(n, data); err != nil {
+			return err
+		}
+		if idx != nil {
+			idx.Observe(self, n, dedup.Of(data))
+		}
+		return nil
+	}
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
@@ -242,7 +344,7 @@ func (m *Machine) ServeSync(l net.Listener) (*SyncReport, error) {
 		}
 		switch msg.Type {
 		case transport.MsgBlockData:
-			if err := disk.WriteBlock(int(msg.Arg), msg.Payload); err != nil {
+			if err := write(int(msg.Arg), msg.Payload); err != nil {
 				return rep, err
 			}
 			rep.Blocks++
@@ -252,16 +354,65 @@ func (m *Machine) ServeSync(l net.Listener) (*SyncReport, error) {
 				return rep, fmt.Errorf("hostd: sync extent [%d,+%d) invalid", start, count)
 			}
 			for k := 0; k < count; k++ {
-				if err := disk.WriteBlock(start+k, msg.Payload[k*bs:(k+1)*bs]); err != nil {
+				if err := write(start+k, msg.Payload[k*bs:(k+1)*bs]); err != nil {
 					return rep, err
 				}
 			}
 			rep.Blocks += count
+		case transport.MsgHashAdvert:
+			if idx == nil {
+				return rep, fmt.Errorf("hostd: HASH_ADVERT on a sync without dedup")
+			}
+			start, count := transport.ExtentSplit(msg.Arg)
+			if count < 1 || start < 0 || start+count > disk.NumBlocks() {
+				return rep, fmt.Errorf("hostd: sync advert [%d,+%d) invalid", start, count)
+			}
+			fps, err := dedup.ParseFingerprints(msg.Payload, count)
+			if err != nil {
+				return rep, err
+			}
+			var want []byte
+			want, stage = idx.Answer(fps)
+			if err := conn.Send(transport.Message{Type: transport.MsgHashWant, Arg: msg.Arg, Payload: want}); err != nil {
+				return rep, err
+			}
+		case transport.MsgBlockRef:
+			if idx == nil {
+				return rep, fmt.Errorf("hostd: BLOCK_REF on a sync without dedup")
+			}
+			start, count := transport.ExtentSplit(msg.Arg)
+			if count < 1 || start < 0 || start+count > disk.NumBlocks() {
+				return rep, fmt.Errorf("hostd: sync ref [%d,+%d) invalid", start, count)
+			}
+			fps, err := dedup.ParseFingerprints(msg.Payload, count)
+			if err != nil {
+				return rep, err
+			}
+			for k, fp := range fps {
+				content, ok := idx.Materialize(stage, fp)
+				if !ok {
+					return rep, fmt.Errorf("hostd: sync ref %d names unknown content", start+k)
+				}
+				if err := disk.WriteBlock(start+k, content); err != nil {
+					return rep, err
+				}
+				// The fingerprint is already in hand: observe it directly
+				// instead of re-hashing 4 KiB per referenced block.
+				idx.Observe(self, start+k, fp)
+			}
+			rep.Blocks += count
+			rep.DedupBlocks += count
 		case transport.MsgDone:
 			if int(msg.Arg) != rep.Blocks {
 				return rep, fmt.Errorf("hostd: sync count %d, received %d", msg.Arg, rep.Blocks)
 			}
-			return rep, conn.Send(transport.Message{Type: transport.MsgDone, Arg: msg.Arg})
+			if err := conn.Send(transport.Message{Type: transport.MsgDone, Arg: msg.Arg}); err != nil {
+				return rep, err
+			}
+			if idx != nil {
+				_ = m.SaveIndex()
+			}
+			return rep, nil
 		case transport.MsgError:
 			return rep, fmt.Errorf("hostd: sync aborted by source: %s", msg.Payload)
 		default:

@@ -44,6 +44,8 @@ type Report struct {
 	Retries     int   // connection failures survived by resuming the session
 	ResentBytes int64 // wire bytes re-sent because a failure rewound an iteration
 
+	DedupBlocks int // disk blocks materialized by reference (or zero-elided) instead of retransmitted
+
 	BlocksPushed  int           // post-copy blocks pushed by the source
 	BlocksPulled  int           // post-copy blocks pulled on demand
 	StalePushes   int           // pushed blocks dropped (superseded by local writes)
@@ -97,6 +99,9 @@ func (r *Report) String() string {
 		r.DiskIterationCount(), r.RetransferredBlocks())
 	fmt.Fprintf(&b, "  post-copy            : %.0f ms (%d pushed, %d pulled, %d stale)\n",
 		r.PostCopyTime.Seconds()*1000, r.BlocksPushed, r.BlocksPulled, r.StalePushes)
+	if r.DedupBlocks > 0 {
+		fmt.Fprintf(&b, "  dedup                : %d blocks by reference\n", r.DedupBlocks)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"testing"
+
+	"bbmig/internal/workload"
+)
+
+// TestDedupModelBasics pins the dedup wire model against the literal one:
+// same phase dynamics, strictly fewer bytes, references accounted.
+func TestDedupModelBasics(t *testing.T) {
+	base := Defaults(workload.Web)
+	base.DwellAfter = 0
+	lit := RunTPM(base)
+
+	p := base
+	p.Dedup = true
+	p.DedupShare = 0.5
+	ded := RunTPM(p)
+
+	if ded.Report.DedupBlocks == 0 {
+		t.Fatal("dedup run reports zero reference blocks")
+	}
+	if ded.Report.MigratedBytes >= lit.Report.MigratedBytes {
+		t.Fatalf("dedup moved %d bytes, literal %d", ded.Report.MigratedBytes, lit.Report.MigratedBytes)
+	}
+	if (ded.MigEnd - ded.MigStart) >= (lit.MigEnd - lit.MigStart) {
+		t.Fatal("dedup run not faster than literal on the same link")
+	}
+	if lit.Report.DedupBlocks != 0 {
+		t.Fatalf("literal run reports %d reference blocks", lit.Report.DedupBlocks)
+	}
+	// Share bounds clamp instead of corrupting the accounting.
+	p.DedupShare = 1.5
+	if r := RunTPM(p); r.Report.MigratedBytes >= lit.Report.MigratedBytes {
+		t.Fatal("clamped share produced no savings")
+	}
+}
+
+// TestDedupSweepAcceptance pins the tentpole's headline number: evacuating
+// the clone fleet toward warm (clone-hosting) destinations must move at
+// least 5x fewer bytes on the wire than literal transfer, and the makespan
+// must shrink with it.
+func TestDedupSweepAcceptance(t *testing.T) {
+	rows, tab := DedupSweep(1)
+	if tab.String() == "" {
+		t.Fatal("empty table")
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	literal, cold, warm := rows[0], rows[1], rows[2]
+	if literal.Reduction != 1 {
+		t.Fatalf("literal reduction %.2f", literal.Reduction)
+	}
+	if cold.Reduction <= 1.2 {
+		t.Fatalf("cold-destination reduction only %.2fx", cold.Reduction)
+	}
+	if warm.Reduction < 5 {
+		t.Fatalf("warm clone-fleet reduction %.2fx, acceptance bar is 5x", warm.Reduction)
+	}
+	if warm.Makespan >= literal.Makespan {
+		t.Fatalf("dedup makespan %v not below literal %v", warm.Makespan, literal.Makespan)
+	}
+	if warm.DedupBlocks == 0 {
+		t.Fatal("warm arm reports no reference blocks")
+	}
+}

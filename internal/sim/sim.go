@@ -75,6 +75,19 @@ type Params struct {
 	// adaptiveExtentCap. With FrameLatency zero it changes nothing.
 	AdaptiveExtents bool
 
+	// Dedup models negotiated content-addressed transfer (core.Config.Dedup)
+	// on the first disk pre-copy iteration — the bulk image copy: every
+	// block costs a fingerprint advert, and the DedupShare fraction whose
+	// content the destination can already produce travels as a 16-byte
+	// reference instead of a literal. Later iterations carry fresh guest
+	// writes and are modelled literal (conservative: rewrites of identical
+	// content would dedup too).
+	Dedup bool
+	// DedupShare is the fraction of iteration-1 content the destination
+	// already holds: never-written zero blocks plus template overlap with
+	// retained peer copies and clone-sibling disks. Ignored unless Dedup.
+	DedupShare float64
+
 	// OnEvent, when non-nil, receives the same typed progress events the
 	// real engine emits (phase transitions, iteration ends, suspend,
 	// resume, completion) on the simulated timeline — the simulator no
@@ -268,10 +281,30 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 	for iter := 1; ; iter++ {
 		iterStart := s.now
 		sentBlocks := toSend.Count()
-		s.transferBlocks(int64(sentBlocks))
+		iterBytes := int64(sentBlocks) * blockdev.BlockSize
+		if p.Dedup && iter == 1 {
+			// Content-addressed iteration 1: every block pays the advert,
+			// the present share travels as references, the rest literally.
+			share := p.DedupShare
+			if share < 0 {
+				share = 0
+			}
+			if share > 1 {
+				share = 1
+			}
+			refs := int(float64(sentBlocks) * share)
+			lits := sentBlocks - refs
+			wire := float64(lits)*s.perBlockWire() +
+				float64(sentBlocks)*dedupAdvertPerBlock + float64(refs)*dedupRefPerBlock
+			s.transferWire(wire)
+			iterBytes = int64(wire)
+			s.rep.DedupBlocks += refs
+		} else {
+			s.transferBlocks(int64(sentBlocks))
+		}
 		s.rep.DiskIterations = append(s.rep.DiskIterations, metrics.Iteration{
 			Index: iter, Units: sentBlocks,
-			Bytes:    int64(sentBlocks) * blockdev.BlockSize,
+			Bytes:    iterBytes,
 			Duration: s.now - iterStart, DirtyEnd: s.dirty.Count(),
 		})
 		s.emit(core.Event{
@@ -547,12 +580,25 @@ func (s *sim) applyAccess(a workload.Access) {
 // window, not the interrupted iteration.
 const inflightWindow = 256 << 10
 
+// Dedup wire-cost constants: a 16-byte fingerprint per advertised block
+// (plus the want bit and amortized frame headers) and a 16-byte fingerprint
+// per referenced block — mirroring the engine's MsgHashAdvert/MsgBlockRef
+// encoding in docs/WIRE.md §10.
+const (
+	dedupAdvertPerBlock = 17.0
+	dedupRefPerBlock    = 16.0
+)
+
 // transferBlocks advances time until `blocks` blocks have crossed the wire.
 // If the modelled outage fires mid-iteration, the link stalls for the
 // outage window and the in-flight data is re-sent — the engine's
 // cursor-exact resume semantics.
 func (s *sim) transferBlocks(blocks int64) {
-	total := float64(blocks) * s.perBlockWire()
+	s.transferWire(float64(blocks) * s.perBlockWire())
+}
+
+// transferWire advances time until `total` wire bytes have crossed.
+func (s *sim) transferWire(total float64) {
 	remaining := total
 	for remaining > 0 {
 		remaining -= s.step(s.p.Step)

@@ -1,0 +1,108 @@
+// Package doccheck keeps the documentation honest mechanically: a relative
+// markdown link checker (every `[text](path)` in the repo's documentation
+// must point at a file that exists) and a wire-spec coverage check (every
+// `Msg*` frame constant declared in internal/transport/message.go must be
+// specified in docs/WIRE.md). Both run under `go test` — the repository's
+// tier-1 gate — and again in the CI docs job, so a frame type can no
+// longer land without its byte-offset spec and a moved file can no longer
+// leave dangling doc links.
+package doccheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// DocFiles lists the repo-relative markdown files the link checker covers:
+// the README, the docs/ tree, the example walkthroughs, and the
+// paper/roadmap material.
+func DocFiles(root string) ([]string, error) {
+	var files []string
+	for _, name := range []string{"README.md", "PAPER.md", "PAPERS.md", "ROADMAP.md", "examples/README.md"} {
+		if _, err := os.Stat(filepath.Join(root, name)); err == nil {
+			files = append(files, name)
+		}
+	}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range docs {
+		rel, err := filepath.Rel(root, d)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, rel)
+	}
+	return files, nil
+}
+
+// mdLink matches one inline markdown link and captures its target. Images
+// (`![...](...)`) are matched the same way — their targets must exist too,
+// except remote ones, which are skipped like every absolute URL.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// CheckLinks verifies every relative link target in the given repo-relative
+// markdown files, returning one finding per broken link.
+func CheckLinks(root string, files []string) ([]string, error) {
+	var findings []string
+	for _, file := range files {
+		data, err := os.ReadFile(filepath.Join(root, file))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0] // drop the anchor
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(root, filepath.Dir(file), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				findings = append(findings, fmt.Sprintf("%s: broken link %q", file, m[1]))
+			}
+		}
+	}
+	return findings, nil
+}
+
+// msgConst matches one Msg* constant declaration line of the transport
+// message-type block (tab-indented, as gofmt formats the const block).
+var msgConst = regexp.MustCompile(`(?m)^\t(Msg[A-Za-z0-9]+)\b`)
+
+// WireFrameCoverage verifies that every Msg* constant declared in
+// internal/transport/message.go appears in docs/WIRE.md, returning one
+// finding per unspecified frame type.
+func WireFrameCoverage(root string) ([]string, error) {
+	src, err := os.ReadFile(filepath.Join(root, "internal", "transport", "message.go"))
+	if err != nil {
+		return nil, err
+	}
+	spec, err := os.ReadFile(filepath.Join(root, "docs", "WIRE.md"))
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	seen := map[string]bool{}
+	for _, m := range msgConst.FindAllStringSubmatch(string(src), -1) {
+		name := m[1]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if !strings.Contains(string(spec), name) {
+			findings = append(findings, fmt.Sprintf("docs/WIRE.md: frame type %s has no spec entry", name))
+		}
+	}
+	if len(seen) == 0 {
+		return nil, fmt.Errorf("doccheck: no Msg* constants found in transport/message.go")
+	}
+	return findings, nil
+}

@@ -3,7 +3,8 @@
 // every package must have a package comment. It is the CI doc gate — run it
 // the way the lint job does:
 //
-//	go run ./internal/tools/doclint . ./internal/cluster ./internal/core ./internal/hostd
+//	go run ./internal/tools/doclint . ./internal/cluster ./internal/core ./internal/hostd \
+//	    ./internal/transport ./internal/sim ./internal/dedup
 //
 // The rules mirror the classic golint/staticcheck ST1000+ST1020..ST1022
 // presence checks (a comment on a const/var/type group covers its specs;

@@ -7,11 +7,15 @@ import (
 )
 
 // TestTargetPackagesDocumented is the in-tree half of the CI doc gate: the
-// facade, the cluster orchestrator, the engine, and the host daemon must
-// have zero undocumented exported identifiers.
+// facade, the cluster orchestrator, the engine, the host daemon, the
+// transport, the simulator, and the dedup layer must have zero
+// undocumented exported identifiers.
 func TestTargetPackagesDocumented(t *testing.T) {
 	root := filepath.Join("..", "..", "..")
-	for _, dir := range []string{".", "internal/cluster", "internal/core", "internal/hostd"} {
+	for _, dir := range []string{
+		".", "internal/cluster", "internal/core", "internal/hostd",
+		"internal/transport", "internal/sim", "internal/dedup",
+	} {
 		findings, err := LintDir(filepath.Join(root, filepath.FromSlash(dir)))
 		if err != nil {
 			t.Fatalf("%s: %v", dir, err)

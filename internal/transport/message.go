@@ -103,6 +103,24 @@ const (
 	// reached, which iterations it has fully received), so both sides agree
 	// on exactly which blocks are still owed.
 	MsgSessionAck
+	// MsgHashAdvert offers a run of blocks by content instead of bytes
+	// (negotiated content-addressed dedup): Arg packs the extent like
+	// MsgExtent and the payload carries one 16-byte fingerprint per block.
+	// The destination answers with MsgHashWant naming the blocks whose
+	// content it cannot already produce.
+	MsgHashAdvert
+	// MsgHashWant answers a MsgHashAdvert: Arg echoes the advert's packed
+	// extent and the payload is a bitmask (one bit per advertised block,
+	// LSB-first) with set bits meaning "send the literal". Blocks whose bit
+	// is clear are owed only a MsgBlockRef.
+	MsgHashWant
+	// MsgBlockRef materializes a run of blocks by reference: Arg packs the
+	// extent like MsgExtent and the payload carries one 16-byte fingerprint
+	// per block. The destination writes each block from content it already
+	// holds (staged at advert time, resolved from its fingerprint index, or
+	// the implicit zero block). Sent only for content the destination
+	// declined to want — plus all-zero runs, which need no advert at all.
+	MsgBlockRef
 )
 
 // String implements fmt.Stringer.
@@ -117,6 +135,7 @@ func (t MsgType) String() string {
 		MsgResumed: "RESUMED", MsgDelta: "DELTA", MsgAnnounce: "ANNOUNCE",
 		MsgExtent: "EXTENT", MsgStripeBarrier: "STRIPE_BARRIER", MsgStripeHello: "STRIPE_HELLO",
 		MsgSessionResume: "SESSION_RESUME", MsgSessionAck: "SESSION_ACK",
+		MsgHashAdvert: "HASH_ADVERT", MsgHashWant: "HASH_WANT", MsgBlockRef: "BLOCK_REF",
 	}
 	if s, ok := names[t]; ok {
 		return s
