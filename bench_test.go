@@ -678,6 +678,88 @@ func BenchmarkMigrate_DedupOff(b *testing.B)  { benchMigrateDedup(b, "literal") 
 func BenchmarkMigrate_DedupCold(b *testing.B) { benchMigrateDedup(b, "cold") }
 func BenchmarkMigrate_DedupWarm(b *testing.B) { benchMigrateDedup(b, "warm") }
 
+// benchMigrateSwarm is the multi-source arm of the clone-fleet evacuation:
+// same clone image, same capped source uplink as benchMigrateDedup, but the
+// destination is cold (empty index — the DedupCold case, where single-source
+// dedup can only elide zeros) and a peer machine hosting a clone sibling
+// serves the shared template content over a sidecar swarm session on an
+// uncapped loopback link. The want-set drains through the peer instead of
+// the throttled source, so the capped-uplink wall-clock collapses toward the
+// DedupWarm row without the destination holding anything in advance.
+func benchMigrateSwarm(b *testing.B) {
+	b.Helper()
+	const blocks = 16384
+	const distinct = 512
+	const frameStall = 40 * time.Microsecond
+	const linkBps = 100e6
+	srcDisk := templateCloneDisk(blocks, distinct)
+	// The warm peer: a machine hosting a clone sibling of the migrating
+	// image. Its index is scanned once per process inside the first
+	// ServeSwarm (hostd's scan-once discipline), exactly its deployment
+	// shape.
+	peer := hostd.NewMachine("P")
+	sibling, err := peer.CreateDomain("sibling", blocks, 64, workload.Web, 1, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, blockdev.BlockSize)
+	for n := 0; n < blocks*3/4; n++ {
+		workload.FillBlock(buf, n%distinct, 11)
+		sibling.Disk().WriteBlock(n, buf)
+	}
+	b.SetBytes(int64(blocks) * blockdev.BlockSize)
+	var wire int64
+	var swarmBlocks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() { _ = peer.ServeSwarm(l, nil) }()
+		dstDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+		guest := vm.New("g", 1, 64, 256)
+		src := core.Host{VM: guest, Backend: blkback.NewBackend(srcDisk, 1)}
+		dst := core.Host{VM: vm.NewDestination(guest), Backend: blkback.NewBackend(dstDisk, 1)}
+		pa, pb := transport.NewPipe(256)
+		var cs transport.Conn = transport.NewShaped(
+			transport.NewLatent(pa, frameStall),
+			clock.NewRateLimiter(clock.NewReal(), linkBps, linkBps/10))
+		var cd transport.Conn = transport.NewLatent(pb, frameStall)
+		cfg := core.Config{MaxExtentBlocks: 64, Dedup: true}
+		dcfg := cfg
+		dcfg.Swarm = true
+		dcfg.SwarmPeers = []string{l.Addr().String()}
+		errCh := make(chan error, 1)
+		repCh := make(chan *metrics.Report, 1)
+		go func() {
+			rep, err := core.MigrateSource(cfg, src, cs, nil)
+			repCh <- rep
+			errCh <- err
+		}()
+		res, err := core.MigrateDest(dcfg, dst, cd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := <-repCh
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+		wire = rep.MigratedBytes
+		swarmBlocks = res.Report.SwarmBlocks
+		cs.Close()
+		cd.Close()
+		l.Close()
+	}
+	if swarmBlocks == 0 {
+		b.Fatal("no blocks arrived from the swarm peer")
+	}
+	b.ReportMetric(float64(wire)/(1<<20), "wire-MiB")
+	b.ReportMetric(float64(swarmBlocks), "swarm-blocks")
+}
+
+func BenchmarkMigrate_SwarmColdDest(b *testing.B) { benchMigrateSwarm(b) }
+
 // --- Extension benches: compression, vault, traces, host daemon ----------
 
 // benchCompression migrates a zero-heavy disk with and without stream

@@ -13,8 +13,11 @@
 // the scheduler's concurrency caps, -presync runs the incremental pre-sync
 // leg before each drain cutover, -retries sets each migration's resume
 // budget, -dedup negotiates content-addressed transfer on every migration
-// (each machine answers adverts from its shared fingerprint index), and
-// -live runs the synthetic guest workloads during the verb.
+// (each machine answers adverts from its shared fingerprint index), -swarm
+// additionally fans each dedup'd migration's want-set across peer machines
+// nominated by content overlap (up to -swarm-peers sidecar serve sessions,
+// paced from the shared budget), and -live runs the synthetic guest
+// workloads during the verb.
 package main
 
 import (
@@ -51,6 +54,8 @@ func run(args []string, out io.Writer) error {
 	maxTotal := fs.Int("max-total", cluster.DefaultMaxTotal, "fleet-wide concurrent migration cap")
 	presync := fs.Bool("presync", false, "pre-sync each drain move so the cutover ships only the recent write set")
 	dedupFlag := fs.Bool("dedup", false, "negotiate content-addressed dedup on every migration and pre-sync")
+	swarmFlag := fs.Bool("swarm", false, "fan each dedup'd migration's want-set across content-overlapping peer machines (implies nothing without -dedup)")
+	swarmPeers := fs.Int("swarm-peers", cluster.DefaultSwarmPeers, "max sidecar swarm-serve peers nominated per migration")
 	retries := fs.Int("retries", cluster.DefaultDrainRetries, "per-migration reconnect/resume budget")
 	live := fs.Bool("live", false, "run the synthetic guest workloads during the verb")
 	seed := fs.Int64("seed", 1, "workload seed")
@@ -66,6 +71,8 @@ func run(args []string, out io.Writer) error {
 		GlobalBandwidth: int64(*budgetMB * 1e6),
 		MaxPerHost:      *perHost,
 		MaxTotal:        *maxTotal,
+		Swarm:           *swarmFlag,
+		SwarmPeers:      *swarmPeers,
 		BaseConfig:      core.Config{MaxExtentBlocks: 64, MaxRetries: *retries, Dedup: *dedupFlag},
 	})
 	var machines []*hostd.Machine

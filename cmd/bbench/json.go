@@ -146,6 +146,17 @@ func runJSON(path string, seed int64) error {
 			},
 		})
 	}
+	swarmRows, _ := sim.SwarmSweep(seed)
+	for i, name := range []string{"literal", "single-source", "swarm"} {
+		out.Benchmarks = append(out.Benchmarks, benchResult{
+			Name: "SimSwarmSweep/" + name,
+			Metrics: map[string]float64{
+				"makespan_s":    swarmRows[i].Makespan.Seconds(),
+				"fleet_wire_gb": swarmRows[i].FleetWireGB,
+				"speedup":       swarmRows[i].Speedup,
+			},
+		})
+	}
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -43,6 +43,14 @@
 //	bbmig -mode recv -listen :7011 -image guest.img -dedup
 //	bbmig -mode send -addr dst:7011 -image guest.img -dedup
 //
+// Swarm multi-source fetch: -swarm-peers (recv mode, needs -dedup) names
+// peer hostd swarm-serve addresses; blocks the source advertises that no
+// local content can produce are fetched from those peers over sidecar
+// sessions, verified by fingerprint on arrival, and only the remainder
+// travels as literals from the source:
+//
+//	bbmig -mode recv -listen :7011 -image guest.img -dedup -swarm-peers peer1:7012,peer2:7012
+//
 // Fault tolerance: -max-retries N makes the sender survive up to N
 // connection failures by resuming the negotiated session — the receiver
 // always offers a reconnect path — re-sending only the blocks the receiver
@@ -59,6 +67,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -74,29 +83,30 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "", "send | recv | demo")
-		addr      = flag.String("addr", "", "destination address (send mode)")
-		listen    = flag.String("listen", ":7011", "listen address (recv mode)")
-		image     = flag.String("image", "", "disk image path")
-		sizeMB    = flag.Int("size-mb", 256, "image size when creating (MB)")
-		memMB     = flag.Int("mem-mb", 64, "guest memory size (MB)")
-		wl        = flag.String("workload", "none", "workload during migration: none|web|stream|diabolical|kernel")
-		limitMbps = flag.Int("limit-mbps", 0, "pre-copy bandwidth cap in Mbit/s (0 = unlimited)")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		speedup   = flag.Float64("speedup", 1, "workload time compression factor")
-		compress  = flag.Bool("compress", false, "DEFLATE-compress the migration stream at the default level (both ends must agree)")
-		compLevel = flag.Int("compress-level", 0, "explicit flate level -2..9 (overrides -compress; both ends must agree)")
-		progress  = flag.Bool("progress", false, "print live phase/iteration/byte progress events")
-		streams   = flag.Int("streams", 1, "parallel transport connections (both ends must agree)")
-		extentBlk = flag.Int("extent-blocks", 1, "send: max contiguous blocks coalesced per frame")
-		workers   = flag.Int("workers", 1, "send: read/send pipeline workers; recv: scatter-write workers")
-		dedupFlag = flag.Bool("dedup", false, "content-addressed dedup: ship block fingerprints and references instead of known bytes (both ends must agree)")
-		initialBM = flag.String("initial-bitmap", "", "send: bitmap file selecting blocks for an incremental migration")
-		freshBM   = flag.String("fresh-bitmap", "", "recv: file to save the fresh-write bitmap to (enables a later IM back)")
-		retries   = flag.Int("max-retries", 0, "send: survive this many connection failures by resuming the session (0 = fail fast)")
-		backoff   = flag.Duration("retry-backoff", 0, "send: base reconnect delay (doubles per attempt; 0 = default)")
-		journal   = flag.String("journal", "", "send: persist the migration journal (cursor + pending bitmap) to this file")
-		resume    = flag.Bool("resume", false, "send: cold-resume from -journal after a source restart (incremental re-run of the owed blocks)")
+		mode       = flag.String("mode", "", "send | recv | demo")
+		addr       = flag.String("addr", "", "destination address (send mode)")
+		listen     = flag.String("listen", ":7011", "listen address (recv mode)")
+		image      = flag.String("image", "", "disk image path")
+		sizeMB     = flag.Int("size-mb", 256, "image size when creating (MB)")
+		memMB      = flag.Int("mem-mb", 64, "guest memory size (MB)")
+		wl         = flag.String("workload", "none", "workload during migration: none|web|stream|diabolical|kernel")
+		limitMbps  = flag.Int("limit-mbps", 0, "pre-copy bandwidth cap in Mbit/s (0 = unlimited)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		speedup    = flag.Float64("speedup", 1, "workload time compression factor")
+		compress   = flag.Bool("compress", false, "DEFLATE-compress the migration stream at the default level (both ends must agree)")
+		compLevel  = flag.Int("compress-level", 0, "explicit flate level -2..9 (overrides -compress; both ends must agree)")
+		progress   = flag.Bool("progress", false, "print live phase/iteration/byte progress events")
+		streams    = flag.Int("streams", 1, "parallel transport connections (both ends must agree)")
+		extentBlk  = flag.Int("extent-blocks", 1, "send: max contiguous blocks coalesced per frame")
+		workers    = flag.Int("workers", 1, "send: read/send pipeline workers; recv: scatter-write workers")
+		dedupFlag  = flag.Bool("dedup", false, "content-addressed dedup: ship block fingerprints and references instead of known bytes (both ends must agree)")
+		swarmPeers = flag.String("swarm-peers", "", "recv: comma-separated peer swarm-serve addresses to fetch wanted blocks from (needs -dedup)")
+		initialBM  = flag.String("initial-bitmap", "", "send: bitmap file selecting blocks for an incremental migration")
+		freshBM    = flag.String("fresh-bitmap", "", "recv: file to save the fresh-write bitmap to (enables a later IM back)")
+		retries    = flag.Int("max-retries", 0, "send: survive this many connection failures by resuming the session (0 = fail fast)")
+		backoff    = flag.Duration("retry-backoff", 0, "send: base reconnect delay (doubles per attempt; 0 = default)")
+		journal    = flag.String("journal", "", "send: persist the migration journal (cursor + pending bitmap) to this file")
+		resume     = flag.Bool("resume", false, "send: cold-resume from -journal after a source restart (incremental re-run of the owed blocks)")
 	)
 	flag.Parse()
 
@@ -108,6 +118,13 @@ func main() {
 		streams: *streams, extentBlocks: *extentBlk, workers: *workers,
 		compressLevel: level, dedup: *dedupFlag, progress: *progress,
 		maxRetries: *retries, retryBackoff: *backoff, journalPath: *journal,
+	}
+	if *swarmPeers != "" {
+		if !*dedupFlag {
+			fmt.Fprintln(os.Stderr, "bbmig: -swarm-peers needs -dedup")
+			os.Exit(2)
+		}
+		opts.swarmPeers = strings.Split(*swarmPeers, ",")
 	}
 	var err error
 	switch *mode {
@@ -164,6 +181,7 @@ type xferOpts struct {
 	workers       int
 	compressLevel int
 	dedup         bool
+	swarmPeers    []string
 	progress      bool
 	maxRetries    int
 	retryBackoff  time.Duration
@@ -178,6 +196,8 @@ func (o xferOpts) config() core.Config {
 		Workers:         o.workers,
 		CompressLevel:   o.compressLevel,
 		Dedup:           o.dedup,
+		Swarm:           len(o.swarmPeers) > 0,
+		SwarmPeers:      o.swarmPeers,
 		MaxRetries:      o.maxRetries,
 		RetryBackoff:    o.retryBackoff,
 		JournalPath:     o.journalPath,

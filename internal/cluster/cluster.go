@@ -47,6 +47,11 @@ const (
 	// DefaultLinkBps is the assumed member link bandwidth when unspecified:
 	// the paper testbed's effective Gigabit rate.
 	DefaultLinkBps = 49.1e6 * 1.048576
+	// DefaultSwarmPeers caps how many peer machines serve sidecar swarm
+	// fetches for one migration when Options.Swarm is on and SwarmPeers is
+	// zero: three peers, enough to out-aggregate a single source uplink
+	// without fanning every migration across the whole fleet.
+	DefaultSwarmPeers = 3
 )
 
 // Options configures a Cluster. The zero value is usable: unlimited
@@ -76,16 +81,34 @@ type Options struct {
 	HeartbeatTTL time.Duration
 
 	// BaseConfig is the per-migration core.Config template. Policy, if set,
-	// must be safe to share across concurrent migrations (prefer
-	// PolicyFactory for stateful policies); the scheduler wraps whichever
-	// policy a job ends up with in a core.BudgetPolicy drawing from the
-	// global budget.
+	// is shared across concurrent migrations and MUST be stateless — use
+	// PolicyFactory for anything with mutable state, which also takes
+	// precedence when both are set. The scheduler wraps whichever policy a
+	// job ends up with in a core.BudgetPolicy drawing from the global
+	// budget.
 	BaseConfig core.Config
 
 	// PolicyFactory, when non-nil, supplies a fresh inner Policy per
-	// migration (e.g. func() core.Policy { return &core.AdaptivePolicy{} }),
-	// satisfying the one-instance-per-migration Policy contract.
+	// migration; it takes precedence over BaseConfig.Policy, because only a
+	// factory can satisfy the one-instance-per-migration Policy contract
+	// (e.g. func() core.Policy { return &core.AdaptivePolicy{} }). A bare
+	// BaseConfig.Policy is shared across concurrent jobs and must therefore
+	// be stateless.
 	PolicyFactory func() core.Policy
+
+	// Swarm, when true alongside a dedup'd BaseConfig (or job config), fans
+	// each migration's want-set across peer machines: the scheduler
+	// nominates up to SwarmPeers members by placement's content-overlap
+	// data, starts a sidecar swarm-serve session on each (paced from the
+	// shared budget), and hands their addresses to the destination. Peers
+	// that hold nothing relevant just answer misses — the source's literal
+	// fallback covers them — so nomination optimizes bandwidth, never
+	// correctness.
+	Swarm bool
+
+	// SwarmPeers caps the nominated peers per migration; zero selects
+	// DefaultSwarmPeers.
+	SwarmPeers int
 
 	// Listen opens the listener a scheduled migration's destination accepts
 	// on; the source dials its address. Nil selects loopback TCP ("127.0.0.1:0").
@@ -103,6 +126,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxTotal <= 0 {
 		o.MaxTotal = DefaultMaxTotal
+	}
+	if o.SwarmPeers <= 0 {
+		o.SwarmPeers = DefaultSwarmPeers
 	}
 	if o.Listen == nil {
 		o.Listen = func() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }

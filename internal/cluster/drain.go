@@ -129,8 +129,16 @@ func (c *Cluster) Drain(host string, opts DrainOptions) (*DrainResult, error) {
 		mv.Sync, _ = f.ticket.SyncReport()
 		mv.Err = err
 		if err != nil && !opts.ReplaceDisabled {
-			// Re-place away from the failed target and try once more.
-			exclude := append([]string{mv.Target}, opts.Exclude...)
+			// Re-place away from the failed target and try once more. A move
+			// that died before dispatch has no target yet — an empty string
+			// in the exclude list would exclude nothing (no member is named
+			// ""), so drop empties rather than ship a vacuous exclusion.
+			exclude := make([]string, 0, 1+len(opts.Exclude))
+			for _, e := range append([]string{mv.Target}, opts.Exclude...) {
+				if e != "" {
+					exclude = append(exclude, e)
+				}
+			}
 			if to, perr := c.PlaceDomain(f.domain, host, exclude...); perr == nil {
 				if t2, serr := c.Submit(Job{
 					Domain: f.domain, From: host, To: to, Priority: PriorityEvacuate,
@@ -233,8 +241,13 @@ func (c *Cluster) Rebalance(exclude ...string) (*RebalanceResult, error) {
 		tickets = append(tickets, t)
 	}
 	for _, t := range tickets {
-		mv := Move{Domain: t.Job().Domain, Target: t.Target(), Attempts: 1}
+		// Wait before reading the target: a move still queued at read time
+		// has no resolved destination yet, and reporting the placement plan
+		// instead of where the domain actually landed would lie whenever the
+		// dispatcher re-placed it.
+		mv := Move{Domain: t.Job().Domain, Attempts: 1}
 		mv.Err = t.Wait()
+		mv.Target = t.Target()
 		mv.Report = t.Report()
 		res.Moves = append(res.Moves, mv)
 	}

@@ -330,14 +330,17 @@ func (c *Cluster) failQueuedLocked(t *Ticket, err error) bool {
 
 // jobConfig builds the source-side migration config for t: the job override
 // or BaseConfig, with a fresh inner policy from PolicyFactory when set, all
-// wrapped in the shared-budget decorator.
+// wrapped in the shared-budget decorator. PolicyFactory wins over a bare
+// Policy even when both are set: concurrent jobs must never share one
+// stateful policy instance, and only the factory can mint a fresh one per
+// migration. A bare Policy is used as-is and therefore must be stateless.
 func (c *Cluster) jobConfig(t *Ticket) core.Config {
 	cfg := c.opts.BaseConfig
 	if t.job.Config != nil {
 		cfg = *t.job.Config
 	}
 	inner := cfg.Policy
-	if inner == nil && c.opts.PolicyFactory != nil {
+	if c.opts.PolicyFactory != nil {
 		inner = c.opts.PolicyFactory()
 	}
 	cfg.Policy = &core.BudgetPolicy{Inner: inner, Budget: c.budget}
@@ -361,6 +364,17 @@ func (c *Cluster) runJob(t *Ticket, src, dst *hostd.Machine, leave func()) {
 		t.mu.Unlock()
 	}
 
+	// Swarm fan-out: start sidecar serve sessions on nominated peers and
+	// allow them in the announce. With no willing peers the flag stays off
+	// and the migration runs exactly as before.
+	var swarmAddrs []string
+	if c.opts.Swarm && cfg.Dedup {
+		var stopPeers func()
+		swarmAddrs, stopPeers = c.startSwarmPeers(t)
+		defer stopPeers()
+		cfg.Swarm = len(swarmAddrs) > 0
+	}
+
 	l, err := c.opts.Listen()
 	if err != nil {
 		leave()
@@ -371,7 +385,12 @@ func (c *Cluster) runJob(t *Ticket, src, dst *hostd.Machine, leave func()) {
 	go func() {
 		// Local-only knobs ride along; negotiated ones (streams, compress)
 		// arrive in the announce, which an unconfigured receiver adopts.
-		dcfg := core.Config{Clock: cfg.Clock, Workers: cfg.Workers, MaxExtentBlocks: cfg.MaxExtentBlocks}
+		// Swarm peer addresses are local to the destination: it engages them
+		// only when the announce carries the swarm capability.
+		dcfg := core.Config{
+			Clock: cfg.Clock, Workers: cfg.Workers, MaxExtentBlocks: cfg.MaxExtentBlocks,
+			SwarmPeers: swarmAddrs,
+		}
 		_, err := dst.ServeOne(l, dcfg)
 		destErr <- err
 	}()

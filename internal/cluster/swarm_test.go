@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"bbmig/internal/blockdev"
+	"bbmig/internal/core"
+	"bbmig/internal/workload"
+)
+
+// TestClusterSwarmMigration runs Options.Swarm end to end: a clone sibling
+// on a third machine makes its shared index able to produce the moving
+// domain's content, the scheduler nominates it and starts a sidecar serve
+// session, and the cold destination fetches every non-zero block from the
+// peer — so the source ships the whole disk by reference, and the landed
+// bytes still verify.
+func TestClusterSwarmMigration(t *testing.T) {
+	const filled = 256
+	c := New(Options{Swarm: true, BaseConfig: core.Config{Dedup: true, MaxExtentBlocks: 16}})
+	ms := newFleet(t, c, 3, 4)
+	addDomain(t, ms[0], "guest", filled)
+	addDomain(t, ms[2], "sibling", filled) // identical template content
+	for _, m := range ms {
+		if _, err := c.Heartbeat(m.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tk, err := c.Submit(Job{Domain: "guest", From: "host0", To: "host1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rep := tk.Report()
+	if rep == nil {
+		t.Fatal("no migration report")
+	}
+	// The zero blocks elide natively; the filled blocks exist only in the
+	// sibling's index, so anything short of a full-reference transfer means
+	// the swarm peer was never consulted.
+	if rep.DedupBlocks != tBlocks {
+		t.Fatalf("%d of %d blocks travelled by reference — swarm peer not consulted", rep.DedupBlocks, tBlocks)
+	}
+
+	d, ok := ms[1].Domain("guest")
+	if !ok {
+		t.Fatal("guest not hosted on destination")
+	}
+	want := make([]byte, blockdev.BlockSize)
+	got := make([]byte, blockdev.BlockSize)
+	for i := 0; i < filled; i++ {
+		workload.FillBlock(want, i, 7)
+		if err := d.Disk().ReadBlock(i, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d landed wrong", i)
+		}
+	}
+}

@@ -63,6 +63,10 @@ type ReconnectFunc func(token transport.SessionToken, lastEpoch uint32) (transpo
 // compression setting), and Dedup (content-addressed transfer). The hostd
 // layer negotiates all three automatically through its announce frame; raw
 // engine users (cmd/bbmig, tests) must pass matching values on both sides.
+// Swarm is a fourth announced capability, but a soft one: it permits the
+// destination to open sidecar peer sessions without changing a single byte
+// of the migration channel, so a mismatch degrades to single-source dedup
+// rather than failing the handshake.
 // Every other field is local-only: stop
 // conditions, Workers, MaxExtentBlocks, BandwidthLimit, Policy, and the
 // OnEvent/OnFreeze/OnResume hooks all produce frames any destination
@@ -148,6 +152,33 @@ type Config struct {
 	// selects "self". hostd passes a stable per-domain name so the
 	// observations outlive the migration.
 	DedupName string
+
+	// Swarm, when true alongside Dedup, lets the destination fan its
+	// want-set across sidecar fetch sessions to peer host daemons before
+	// answering each hash advert: content a peer's index can produce (and
+	// verify on read) arrives over the peers' uplinks, the want bit clears,
+	// and the source ships only a 16-byte reference — turning an evacuation
+	// from a source-bandwidth problem into a fleet-bandwidth problem. The
+	// capability travels in the hostd announce (a destination never opens
+	// sidecar sessions the source did not allow), but the migration channel
+	// itself is untouched: swarm frames ride separate connections, so the
+	// main-channel wire format is byte-identical with or without it, and a
+	// block no peer produces simply stays wanted and falls back to a
+	// literal send from the source. False (the default) keeps dedup
+	// single-source.
+	Swarm bool
+
+	// SwarmPeers lists the peer hostd swarm-serve addresses the destination
+	// may fetch from (ignored on the source). The cluster orchestrator
+	// nominates peers from placement's content-overlap data; raw engine
+	// users pass addresses directly. Peers that refuse, die, or serve
+	// content that fails fingerprint verification are dropped for the rest
+	// of the migration — correctness never depends on peer health.
+	SwarmPeers []string
+
+	// SwarmDial opens one sidecar connection to a SwarmPeers address; nil
+	// selects the TCP dialer. Tests inject in-process pipes here.
+	SwarmDial SwarmDialFunc
 
 	// Policy owns the transfer decisions the engine otherwise freezes in
 	// constants: pre-copy stop conditions, the live extent coalescing limit,

@@ -136,6 +136,12 @@ type destDedup struct {
 	self  string
 	stage map[dedup.Fingerprint][]byte
 	refs  int // blocks materialized by reference (Report.DedupBlocks)
+
+	// swarm fans want-sets across peer host daemons (Config.Swarm); nil
+	// keeps the session single-source. swarmBlocks counts blocks whose
+	// content a peer produced (Report.SwarmBlocks).
+	swarm       *swarmClient
+	swarmBlocks int
 }
 
 // newDestDedup builds the session state, registering the destination VBD as
@@ -187,6 +193,41 @@ func (d *destRun) handleAdvert(m transport.Message) error {
 		return err
 	}
 	want, stage := d.dd.idx.Answer(fps)
+	// Swarm fetch: before conceding a literal send, ask the peer fleet for
+	// the still-wanted content. Whatever arrives (already verified against
+	// its fingerprint) is staged exactly as locally-produced content is, and
+	// its want bit clears so the source ships a 16-byte reference instead.
+	// Anything the swarm misses stays wanted — the literal fallback needs no
+	// extra protocol.
+	if d.dd.swarm != nil {
+		var missing []dedup.Fingerprint
+		seen := make(map[dedup.Fingerprint]bool)
+		for k, fp := range fps {
+			if dedup.Want(want, k) && !seen[fp] {
+				seen[fp] = true
+				missing = append(missing, fp)
+			}
+		}
+		if len(missing) > 0 {
+			bs := d.host.Backend.Device().BlockSize()
+			got := d.dd.swarm.fetch(missing, bs)
+			if len(got) > 0 {
+				if stage == nil {
+					stage = make(map[dedup.Fingerprint][]byte, len(got))
+				}
+				for k, fp := range fps {
+					if !dedup.Want(want, k) {
+						continue
+					}
+					if content, ok := got[fp]; ok {
+						stage[fp] = content
+						dedup.ClearWant(want, k)
+						d.dd.swarmBlocks++
+					}
+				}
+			}
+		}
+	}
 	// Replace the previous advert's staging wholesale: references only ever
 	// name the immediately preceding advert (or zero), so older staged
 	// content can no longer be referenced.

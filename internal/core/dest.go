@@ -106,6 +106,14 @@ func (d *destRun) run() (*DestResult, error) {
 			return res, err
 		}
 		d.dd = dd
+		if d.cfg.Swarm && len(d.cfg.SwarmPeers) > 0 {
+			// Peers that fail to dial or refuse the hello drop out here;
+			// losing all of them just leaves the session single-source.
+			dd.swarm = dialSwarm(d.cfg, dd.self, d.host.Backend.Device().BlockSize())
+			if dd.swarm != nil {
+				defer dd.swarm.close()
+			}
+		}
 	}
 
 	// Data frames are handed to the scatter pool; every control frame drains
@@ -125,6 +133,7 @@ func (d *destRun) run() (*DestResult, error) {
 
 	if d.dd != nil {
 		rep.DedupBlocks = d.dd.refs
+		rep.SwarmBlocks = d.dd.swarmBlocks
 	}
 	gs := res.Gate.Stats()
 	rep.PostCopyTime = d.clk.Now() - d.postStart

@@ -104,6 +104,11 @@ func SetWant(buf []byte, k int) { buf[k/8] |= 1 << (k % 8) }
 // Want reports whether block k of a want-bitmap asks for the literal.
 func Want(buf []byte, k int) bool { return buf[k/8]&(1<<(k%8)) != 0 }
 
+// ClearWant retracts block k's literal request from a want-bitmap — the
+// destination does this after a swarm peer produced (and verification
+// accepted) the block's content, leaving the source a reference to send.
+func ClearWant(buf []byte, k int) { buf[k/8] &^= 1 << (k % 8) }
+
 // WalkWant partitions an advertised extent into maximal same-verdict runs
 // of its want-bitmap and calls fn once per run with the run's offset into
 // the extent, its length, and whether the destination wants the literal —

@@ -118,6 +118,11 @@ type Machine struct {
 	idxScanned map[string]*blockdev.MemDisk
 	idxPath    string
 	idxSaveMu  sync.Mutex
+
+	// swarmPeers is the standing list of peer swarm-serve addresses an
+	// inbound swarm-capable migration fetches from when the caller's config
+	// does not nominate its own (see SetSwarmPeers).
+	swarmPeers []string
 }
 
 // NewMachine returns an empty Machine.
@@ -249,10 +254,11 @@ type announce struct {
 	compress int
 	resume   bool
 	dedup    bool
+	swarm    bool
 }
 
 // announceHeaderLen is the fixed prefix before the variable-length fields.
-const announceHeaderLen = 10
+const announceHeaderLen = 11
 
 func (a announce) marshal() ([]byte, error) {
 	gb, err := a.geom.MarshalBinary()
@@ -273,6 +279,9 @@ func (a announce) marshal() ([]byte, error) {
 	}
 	if a.dedup {
 		out[9] = 1 // capability byte: content-addressed dedup frames will flow
+	}
+	if a.swarm {
+		out[10] = 1 // capability byte: destination may open sidecar swarm sessions
 	}
 	out = append(out, a.name...)
 	out = append(out, a.srcHost...)
@@ -296,6 +305,7 @@ func unmarshalAnnounce(data []byte) (announce, error) {
 	a.compress = int(int8(data[7]))
 	a.resume = data[8] == 1
 	a.dedup = data[9] == 1
+	a.swarm = data[10] == 1
 	const geomLen = 32
 	if len(data) != announceHeaderLen+nameLen+srcLen+geomLen {
 		return a, fmt.Errorf("hostd: announce length %d inconsistent", len(data))
@@ -343,6 +353,7 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 		compress: clampCompress(cfg.CompressLevel),
 		resume:   cfg.MaxRetries > 0,
 		dedup:    cfg.Dedup,
+		swarm:    cfg.Dedup && cfg.Swarm,
 	}
 	ab, err := ann.marshal()
 	if err != nil {
@@ -478,6 +489,21 @@ func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config
 	if ann.dedup {
 		cfg.DedupIndex = m.prepareDedup()
 		cfg.DedupName = diskSourceName(ann.name)
+	}
+	// Swarm is announced permission, not obligation: the sender allows
+	// sidecar fetches, and this receiver engages them only when it actually
+	// has peer addresses — from the caller's config (the cluster passes its
+	// nominations there) or the machine's standing SetSwarmPeers list. An
+	// un-announced migration never opens sidecar sessions, whatever the
+	// receiver's configuration says.
+	if ann.dedup && ann.swarm {
+		if len(cfg.SwarmPeers) == 0 {
+			cfg.SwarmPeers = m.swarmPeerList()
+		}
+		cfg.Swarm = len(cfg.SwarmPeers) > 0
+	} else {
+		cfg.Swarm = false
+		cfg.SwarmPeers = nil
 	}
 	// A resumable sender reconnects to the same listener; the accept loop
 	// parks there until a connection opens with the session's resume frame

@@ -45,6 +45,7 @@ type Report struct {
 	ResentBytes int64 // wire bytes re-sent because a failure rewound an iteration
 
 	DedupBlocks int // disk blocks materialized by reference (or zero-elided) instead of retransmitted
+	SwarmBlocks int // disk blocks whose content arrived from swarm peers instead of the source
 
 	BlocksPushed  int           // post-copy blocks pushed by the source
 	BlocksPulled  int           // post-copy blocks pulled on demand
@@ -101,6 +102,9 @@ func (r *Report) String() string {
 		r.PostCopyTime.Seconds()*1000, r.BlocksPushed, r.BlocksPulled, r.StalePushes)
 	if r.DedupBlocks > 0 {
 		fmt.Fprintf(&b, "  dedup                : %d blocks by reference\n", r.DedupBlocks)
+	}
+	if r.SwarmBlocks > 0 {
+		fmt.Fprintf(&b, "  swarm                : %d blocks fetched from peers\n", r.SwarmBlocks)
 	}
 	return b.String()
 }

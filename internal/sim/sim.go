@@ -88,6 +88,24 @@ type Params struct {
 	// retained peer copies and clone-sibling disks. Ignored unless Dedup.
 	DedupShare float64
 
+	// Swarm models multi-source fetch (core.Config.Swarm) on top of Dedup:
+	// during iteration 1 an extra SwarmShare fraction of the content —
+	// blocks the destination does not hold but peer machines do — arrives
+	// over the peers' sidecar sessions at SwarmBytesPerSec aggregate, in
+	// parallel with the source's stream. On the main channel those blocks
+	// cost only advert and reference bytes, so the source's uplink carries
+	// the literal remainder while the fleet carries the bulk. Ignored
+	// unless Dedup.
+	Swarm bool
+	// SwarmShare is the iteration-1 content fraction swarm peers produce,
+	// beyond the DedupShare the destination holds locally (the two sum to
+	// at most 1).
+	SwarmShare float64
+	// SwarmBytesPerSec is the nominated peers' aggregate serve bandwidth —
+	// sidecar links, separate from the migration path and from the source
+	// host's disk, so an outage on the migration link does not stall them.
+	SwarmBytesPerSec float64
+
 	// OnEvent, when non-nil, receives the same typed progress events the
 	// real engine emits (phase transitions, iteration ends, suspend,
 	// resume, completion) on the simulated timeline — the simulator no
@@ -285,20 +303,31 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 		if p.Dedup && iter == 1 {
 			// Content-addressed iteration 1: every block pays the advert,
 			// the present share travels as references, the rest literally.
-			share := p.DedupShare
-			if share < 0 {
-				share = 0
+			share := clamp01(p.DedupShare)
+			swarmShare := 0.0
+			if p.Swarm && p.SwarmBytesPerSec > 0 {
+				swarmShare = clamp01(p.SwarmShare)
+				if share+swarmShare > 1 {
+					swarmShare = 1 - share
+				}
 			}
-			if share > 1 {
-				share = 1
-			}
-			refs := int(float64(sentBlocks) * share)
+			refsSwarm := int(float64(sentBlocks) * swarmShare)
+			refs := int(float64(sentBlocks)*share) + refsSwarm
 			lits := sentBlocks - refs
 			wire := float64(lits)*s.perBlockWire() +
 				float64(sentBlocks)*dedupAdvertPerBlock + float64(refs)*dedupRefPerBlock
-			s.transferWire(wire)
+			if refsSwarm > 0 {
+				// Swarm-produced blocks cross the peers' sidecar links in
+				// parallel with the source stream; the iteration ends when
+				// both flows drain.
+				swarmWire := float64(refsSwarm) * swarmPerBlockWire
+				s.transferWireParallel(wire, swarmWire)
+			} else {
+				s.transferWire(wire)
+			}
 			iterBytes = int64(wire)
 			s.rep.DedupBlocks += refs
+			s.rep.SwarmBlocks += refsSwarm
 		} else {
 			s.transferBlocks(int64(sentBlocks))
 		}
@@ -589,6 +618,22 @@ const (
 	dedupRefPerBlock    = 16.0
 )
 
+// swarmPerBlockWire is the sidecar cost of one swarm-fetched block: the
+// block content plus the MsgSwarmFetch fingerprint (16 B), its hit-mask
+// bit, and the amortized frame headers — mirroring WIRE.md §11.
+const swarmPerBlockWire = blockdev.BlockSize + dedupAdvertPerBlock
+
+// clamp01 bounds a fraction to [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
 // transferBlocks advances time until `blocks` blocks have crossed the wire.
 // If the modelled outage fires mid-iteration, the link stalls for the
 // outage window and the in-flight data is re-sent — the engine's
@@ -609,6 +654,32 @@ func (s *sim) transferWire(total float64) {
 				remaining += resend
 			}
 		}
+	}
+}
+
+// transferWireParallel advances time until both the main-channel bytes and
+// the swarm sidecar bytes have crossed. The flows are independent links:
+// the source stream rides the contended migration path (outages and all),
+// the swarm total drains at the peers' aggregate rate, and the iteration —
+// like the real destination, which answers the next advert only when the
+// current extent settles — finishes with the slower of the two.
+func (s *sim) transferWireParallel(total, swarmTotal float64) {
+	remaining, swarmRemaining := total, swarmTotal
+	for remaining > 0 || swarmRemaining > 0 {
+		credit := s.step(s.p.Step)
+		if remaining > 0 {
+			remaining -= credit
+			if s.consumeFault() && remaining > 0 {
+				resend := math.Min(total-remaining, inflightWindow)
+				if resend > 0 {
+					s.rep.ResentBytes += int64(resend)
+					remaining += resend
+				}
+			}
+		} else {
+			s.consumeFault() // an outage after the source drained costs nothing
+		}
+		swarmRemaining -= s.p.SwarmBytesPerSec * s.p.Step.Seconds()
 	}
 }
 

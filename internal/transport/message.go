@@ -121,6 +121,24 @@ const (
 	// the implicit zero block). Sent only for content the destination
 	// declined to want — plus all-zero runs, which need no advert at all.
 	MsgBlockRef
+	// MsgSwarmHello opens a sidecar swarm-fetch session with a peer host
+	// daemon: Arg carries the block size the fingerprints describe and the
+	// payload names the migrating domain. The peer echoes the hello to
+	// accept (Arg restating the block size) or answers MsgError to refuse.
+	// Swarm frames never appear on the migration channel itself; they ride
+	// separate destination-to-peer connections (WIRE.md §11).
+	MsgSwarmHello
+	// MsgSwarmFetch asks a swarm peer to produce block content by
+	// fingerprint: Arg is a request sequence number and the payload carries
+	// one 16-byte fingerprint per wanted block.
+	MsgSwarmFetch
+	// MsgSwarmBlock answers a MsgSwarmFetch: Arg echoes the request
+	// sequence number and the payload is a hit-bitmask (one bit per
+	// requested fingerprint, LSB-first, set meaning "produced") followed by
+	// the concatenated content of the produced blocks in fingerprint order.
+	// The peer serves only content its index verifies on read, so a stale
+	// or corrupt copy degrades to a miss, never to wrong bytes.
+	MsgSwarmBlock
 )
 
 // String implements fmt.Stringer.
@@ -136,6 +154,7 @@ func (t MsgType) String() string {
 		MsgExtent: "EXTENT", MsgStripeBarrier: "STRIPE_BARRIER", MsgStripeHello: "STRIPE_HELLO",
 		MsgSessionResume: "SESSION_RESUME", MsgSessionAck: "SESSION_ACK",
 		MsgHashAdvert: "HASH_ADVERT", MsgHashWant: "HASH_WANT", MsgBlockRef: "BLOCK_REF",
+		MsgSwarmHello: "SWARM_HELLO", MsgSwarmFetch: "SWARM_FETCH", MsgSwarmBlock: "SWARM_BLOCK",
 	}
 	if s, ok := names[t]; ok {
 		return s
