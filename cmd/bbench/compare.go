@@ -26,7 +26,18 @@ import (
 // rather than widening the tolerance.
 const headlinePrefix = "MigrateModeledLink/"
 
-// loadBenchFile reads a BENCH_*.json snapshot.
+// allocGatePrefixes selects the benchmarks whose allocs_per_op the gate
+// enforces. Unlike MB/s, an allocation count is hardware-independent — the
+// same binary allocates the same on a laptop and a CI runner — so the
+// loopback-TCP rows, too noisy for a cross-machine throughput gate, are
+// gated on allocations: an accidental per-block allocation on the hot path
+// multiplies the count by orders of magnitude and trips the same 25%
+// tolerance long before it shows up in wall-clock.
+var allocGatePrefixes = []string{"MigrateModeledLink/", "MigrateTCP/"}
+
+// loadBenchFile reads a BENCH_*.json snapshot. Any schema in the
+// "bbmig-bench/v1" family is accepted — v1 snapshots simply carry no
+// allocs_per_op, and the alloc gate skips rows the baseline lacks.
 func loadBenchFile(path string) (*benchFile, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -36,7 +47,7 @@ func loadBenchFile(path string) (*benchFile, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
-	if f.Schema != "bbmig-bench/v1" {
+	if !strings.HasPrefix(f.Schema, "bbmig-bench/v1") {
 		return nil, fmt.Errorf("%s: unknown schema %q", path, f.Schema)
 	}
 	return &f, nil
@@ -53,10 +64,32 @@ func mbPerSec(f *benchFile) map[string]float64 {
 	return out
 }
 
+// allocsPerOp indexes a snapshot's allocation rows by name.
+func allocsPerOp(f *benchFile) map[string]float64 {
+	out := make(map[string]float64)
+	for _, b := range f.Benchmarks {
+		if b.AllocsPerOp > 0 {
+			out[b.Name] = b.AllocsPerOp
+		}
+	}
+	return out
+}
+
+// allocGated reports whether name's allocs_per_op is regression-gated.
+func allocGated(name string) bool {
+	for _, p := range allocGatePrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // compareBench gates newPath against basePath: every headline benchmark
 // present in the baseline must be present in the new snapshot and within
-// maxRegressPct of the baseline's MB/s. Improvements and new benchmarks
-// pass freely.
+// maxRegressPct of the baseline's MB/s, and every alloc-gated row the
+// baseline carries allocation data for must not have grown its allocs/op
+// by more than maxRegressPct. Improvements and new benchmarks pass freely.
 func compareBench(newPath, basePath string, maxRegressPct float64) error {
 	newFile, err := loadBenchFile(newPath)
 	if err != nil {
@@ -94,9 +127,35 @@ func compareBench(newPath, basePath string, maxRegressPct float64) error {
 	if checked == 0 {
 		return fmt.Errorf("baseline %s has no %s* benchmarks to gate against", basePath, headlinePrefix)
 	}
+
+	newAllocs, baseAllocs := allocsPerOp(newFile), allocsPerOp(baseFile)
+	allocChecked := 0
+	for name, base := range baseAllocs {
+		if !allocGated(name) {
+			continue
+		}
+		allocChecked++
+		got, ok := newAllocs[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: allocs_per_op missing from %s", name, newPath))
+			continue
+		}
+		growth := (got - base) / base * 100
+		status := "ok"
+		if growth > maxRegressPct {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+					name, got, base, growth, maxRegressPct))
+		}
+		fmt.Printf("gate %-44s base %9.0f allocs/op  now %9.0f allocs/op  (%+.1f%%) %s\n",
+			name, base, got, growth, status)
+	}
+
 	if len(failures) > 0 {
 		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
-	fmt.Printf("bench gate passed: %d headline benchmarks within %.0f%% of %s\n", checked, maxRegressPct, basePath)
+	fmt.Printf("bench gate passed: %d throughput + %d allocation benchmarks within %.0f%% of %s\n",
+		checked, allocChecked, maxRegressPct, basePath)
 	return nil
 }

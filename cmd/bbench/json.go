@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"runtime"
 	"testing"
@@ -25,14 +27,18 @@ import (
 
 // benchResult is one benchmark's outcome.
 type benchResult struct {
-	Name       string             `json:"name"`
-	Iterations int                `json:"iterations,omitempty"`
-	NsPerOp    float64            `json:"ns_per_op,omitempty"`
-	MBPerSec   float64            `json:"mb_per_s,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations,omitempty"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	MBPerSec    float64            `json:"mb_per_s,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// benchFile is the BENCH_*.json schema.
+// benchFile is the BENCH_*.json schema. The schema string is versioned
+// within the "bbmig-bench/v1" family: v1.1 added allocs_per_op and the
+// MigrateTCP rows. Readers accept any v1* snapshot (missing fields decode
+// to zero), so -compare still reads a pre-bump baseline.
 type benchFile struct {
 	Schema     string        `json:"schema"`
 	GoVersion  string        `json:"go_version"`
@@ -41,25 +47,33 @@ type benchFile struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
-// modeledMigrate runs one full TPM migration of a kernel-build image over
-// in-process pipes with a per-frame stall, under the given policy/extent
-// shape, and is the body testing.Benchmark drives.
-func modeledMigrate(b *testing.B, blocks, extentBlocks int, adaptive bool) {
-	const frameStall = 40 * time.Microsecond
-	srcDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+// kernelImage builds a MemDisk carrying a deterministic kernel-build write
+// footprint: the generator's first writes traces applied once.
+func kernelImage(blocks, writes int) *blockdev.MemDisk {
+	disk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
 	gen := workload.New(workload.Kernel, blocks, 1)
 	buf := make([]byte, blockdev.BlockSize)
-	for i := 0; i < 8000; i++ {
+	for i := 0; i < writes; i++ {
 		a := gen.Next()
 		if a.Op != blockdev.Write {
 			continue
 		}
 		for n := a.Block; n < a.Block+a.Count && n < blocks; n++ {
 			workload.FillBlock(buf, n, 1)
-			srcDisk.WriteBlock(n, buf)
+			disk.WriteBlock(n, buf)
 		}
 	}
+	return disk
+}
+
+// modeledMigrate runs one full TPM migration of a kernel-build image over
+// in-process pipes with a per-frame stall, under the given policy/extent
+// shape, and is the body testing.Benchmark drives.
+func modeledMigrate(b *testing.B, blocks, extentBlocks int, adaptive bool) {
+	const frameStall = 40 * time.Microsecond
+	srcDisk := kernelImage(blocks, 8000)
 	b.SetBytes(int64(blocks) * blockdev.BlockSize)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dstDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
@@ -91,11 +105,125 @@ func modeledMigrate(b *testing.B, blocks, extentBlocks int, adaptive bool) {
 	}
 }
 
+// tcpMigrate runs one full migration of a kernel-build image over loopback
+// TCP under cfg — the real-socket arm of the suite, where the pooled buffer
+// discipline and vectored sends show up as allocs/op and MB/s. Both
+// endpoints share cfg, so the negotiated knobs always match.
+func tcpMigrate(b *testing.B, blocks int, cfg core.Config) {
+	srcDisk := kernelImage(blocks, 20000)
+	b.SetBytes(int64(blocks) * blockdev.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dstDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+		guest := vm.New("g", 1, 64, 256)
+		src := core.Host{VM: guest, Backend: blkback.NewBackend(srcDisk, 1)}
+		dst := core.Host{VM: vm.NewDestination(guest), Backend: blkback.NewBackend(dstDisk, 1)}
+		errCh := make(chan error, 1)
+		go func() {
+			var conn transport.Conn
+			var err error
+			if cfg.Streams > 1 {
+				conn, err = transport.AcceptStriped(l, nil)
+			} else {
+				conn, err = transport.Accept(l)
+			}
+			if err == nil {
+				defer conn.Close()
+				_, err = core.MigrateDest(cfg, dst, conn)
+			}
+			errCh <- err
+		}()
+		var cs transport.Conn
+		if cfg.Streams > 1 {
+			cs, err = transport.DialStriped(l.Addr().String(), cfg.Streams, nil)
+		} else {
+			cs, err = transport.Dial(l.Addr().String())
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.MigrateSource(cfg, src, cs, nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+		cs.Close()
+		l.Close()
+	}
+}
+
+// tcpCpBaseline is the wire-speed floor: the same image pushed through a
+// raw TCP socket in 256 KiB chunks, no framing, no engine. MigrateTCP/cold
+// is judged against this row.
+func tcpCpBaseline(b *testing.B, blocks int) {
+	chunkBlocks := (256 << 10) / blockdev.BlockSize
+	srcDisk := kernelImage(blocks, 20000)
+	b.SetBytes(int64(blocks) * blockdev.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := transport.Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dstDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+		done := make(chan error, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			buf := make([]byte, chunkBlocks*blockdev.BlockSize)
+			for n := 0; n < blocks; n += chunkBlocks {
+				if _, err := io.ReadFull(c, buf); err != nil {
+					done <- err
+					return
+				}
+				for j := 0; j < chunkBlocks; j++ {
+					if err := dstDisk.WriteBlock(n+j, buf[j*blockdev.BlockSize:(j+1)*blockdev.BlockSize]); err != nil {
+						done <- err
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, chunkBlocks*blockdev.BlockSize)
+		for n := 0; n < blocks; n += chunkBlocks {
+			for j := 0; j < chunkBlocks; j++ {
+				if err := srcDisk.ReadBlock(n+j, buf[j*blockdev.BlockSize:(j+1)*blockdev.BlockSize]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := c.Write(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+		l.Close()
+	}
+}
+
 // runJSON executes the suite and writes path.
 func runJSON(path string, seed int64) error {
 	const blocks = 4096 // 16 MiB image keeps the suite fast enough for CI
 	out := benchFile{
-		Schema:    "bbmig-bench/v1",
+		Schema:    "bbmig-bench/v1.1",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -107,8 +235,9 @@ func runJSON(path string, seed int64) error {
 		}
 		out.Benchmarks = append(out.Benchmarks, benchResult{
 			Name: name, Iterations: r.N, NsPerOp: float64(r.NsPerOp()), MBPerSec: mbps,
+			AllocsPerOp: float64(r.AllocsPerOp()),
 		})
-		fmt.Printf("%-44s %8d ns/op  %9.1f MB/s\n", name, r.NsPerOp(), mbps)
+		fmt.Printf("%-44s %8d ns/op  %9.1f MB/s  %8d allocs/op\n", name, r.NsPerOp(), mbps, r.AllocsPerOp())
 	}
 
 	// Real engine over the modelled link: the policy trajectory.
@@ -118,6 +247,23 @@ func runJSON(path string, seed int64) error {
 		testing.Benchmark(func(b *testing.B) { modeledMigrate(b, blocks, 64, false) }))
 	add("MigrateModeledLink/adaptive-policy",
 		testing.Benchmark(func(b *testing.B) { modeledMigrate(b, blocks, 1, true) }))
+
+	// Real engine over loopback TCP: the zero-copy hot path against the raw
+	// socket floor. A 64 MiB image so the steady state, not the handshake,
+	// dominates.
+	const tcpBlocks = 16384
+	add("MigrateTCP/cold",
+		testing.Benchmark(func(b *testing.B) { tcpMigrate(b, tcpBlocks, core.Config{MaxExtentBlocks: 64, Readahead: 4}) }))
+	add("MigrateTCP/striped4",
+		testing.Benchmark(func(b *testing.B) {
+			tcpMigrate(b, tcpBlocks, core.Config{Streams: 4, MaxExtentBlocks: 64, Workers: 4})
+		}))
+	add("MigrateTCP/compressed",
+		testing.Benchmark(func(b *testing.B) {
+			tcpMigrate(b, tcpBlocks, core.Config{MaxExtentBlocks: 64, CompressLevel: 1, Workers: 4})
+		}))
+	add("MigrateTCP/cp-baseline",
+		testing.Benchmark(func(b *testing.B) { tcpCpBaseline(b, tcpBlocks) }))
 
 	// Paper-scale simulator headlines: deterministic, so stored as metrics.
 	for _, kind := range sim.TableIWorkloads() {

@@ -93,6 +93,75 @@ func TestCompareBenchGate(t *testing.T) {
 	}
 }
 
+// writeSnapshotV11 writes a v1.1 snapshot carrying allocation data.
+func writeSnapshotV11(t *testing.T, path string, rows []benchResult) {
+	t.Helper()
+	f := benchFile{Schema: "bbmig-bench/v1.1", Benchmarks: rows}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareBenchAllocGate covers the allocs_per_op arm of the gate: a
+// pre-bump v1 baseline without allocation data gates nothing, growth beyond
+// tolerance fails, shrinkage and within-tolerance growth pass, and a row
+// that silently loses its allocation data fails loudly.
+func TestCompareBenchAllocGate(t *testing.T) {
+	dir := t.TempDir()
+
+	// Old-schema baseline: mb_per_s only. The new snapshot's extra fields
+	// and bumped schema must not break the comparison.
+	oldBase := dir + "/old.json"
+	writeSnapshot(t, oldBase, map[string]float64{"MigrateModeledLink/default-per-block": 100})
+	v11 := dir + "/v11.json"
+	writeSnapshotV11(t, v11, []benchResult{
+		{Name: "MigrateModeledLink/default-per-block", MBPerSec: 95, AllocsPerOp: 5000},
+		{Name: "MigrateTCP/cold", MBPerSec: 900, AllocsPerOp: 2000},
+	})
+	if err := compareBench(v11, oldBase, 25); err != nil {
+		t.Fatalf("v1.1 snapshot vs v1 baseline failed the gate: %v", err)
+	}
+
+	base := dir + "/base.json"
+	writeSnapshotV11(t, base, []benchResult{
+		{Name: "MigrateModeledLink/default-per-block", MBPerSec: 100, AllocsPerOp: 5000},
+		{Name: "MigrateTCP/cold", MBPerSec: 900, AllocsPerOp: 2000},
+		{Name: "SomethingElse/unrelated", MBPerSec: 50, AllocsPerOp: 10},
+	})
+
+	ok := dir + "/ok.json"
+	writeSnapshotV11(t, ok, []benchResult{
+		{Name: "MigrateModeledLink/default-per-block", MBPerSec: 100, AllocsPerOp: 6000}, // +20%: within 25%
+		{Name: "MigrateTCP/cold", MBPerSec: 2000, AllocsPerOp: 100},                      // improvement
+		{Name: "SomethingElse/unrelated", MBPerSec: 50, AllocsPerOp: 10000},              // ignored: not gated
+	})
+	if err := compareBench(ok, base, 25); err != nil {
+		t.Fatalf("within-tolerance alloc growth failed the gate: %v", err)
+	}
+
+	bad := dir + "/bad.json"
+	writeSnapshotV11(t, bad, []benchResult{
+		{Name: "MigrateModeledLink/default-per-block", MBPerSec: 100, AllocsPerOp: 5000},
+		{Name: "MigrateTCP/cold", MBPerSec: 900, AllocsPerOp: 3000}, // +50%: regression
+	})
+	if err := compareBench(bad, base, 25); err == nil {
+		t.Fatal("50% alloc growth passed a 25% gate")
+	}
+
+	lost := dir + "/lost.json"
+	writeSnapshotV11(t, lost, []benchResult{
+		{Name: "MigrateModeledLink/default-per-block", MBPerSec: 100, AllocsPerOp: 5000},
+		{Name: "MigrateTCP/cold", MBPerSec: 900}, // allocs_per_op vanished
+	})
+	if err := compareBench(lost, base, 25); err == nil {
+		t.Fatal("snapshot that dropped a gated row's allocation data passed")
+	}
+}
+
 // TestCompareBenchBadFiles: unreadable or malformed snapshots error.
 func TestCompareBenchBadFiles(t *testing.T) {
 	dir := t.TempDir()

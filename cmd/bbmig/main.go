@@ -99,6 +99,7 @@ func main() {
 		streams    = flag.Int("streams", 1, "parallel transport connections (both ends must agree)")
 		extentBlk  = flag.Int("extent-blocks", 1, "send: max contiguous blocks coalesced per frame")
 		workers    = flag.Int("workers", 1, "send: read/send pipeline workers; recv: scatter-write workers")
+		readahead  = flag.Int("readahead", 0, "send: extents prefetched into pooled buffers ahead of the wire (0 = sequential; ignored with -workers > 1 or -dedup)")
 		dedupFlag  = flag.Bool("dedup", false, "content-addressed dedup: ship block fingerprints and references instead of known bytes (both ends must agree)")
 		swarmPeers = flag.String("swarm-peers", "", "recv: comma-separated peer swarm-serve addresses to fetch wanted blocks from (needs -dedup)")
 		initialBM  = flag.String("initial-bitmap", "", "send: bitmap file selecting blocks for an incremental migration")
@@ -116,8 +117,9 @@ func main() {
 	}
 	opts := xferOpts{
 		streams: *streams, extentBlocks: *extentBlk, workers: *workers,
-		compressLevel: level, dedup: *dedupFlag, progress: *progress,
-		maxRetries: *retries, retryBackoff: *backoff, journalPath: *journal,
+		readahead: *readahead, compressLevel: level, dedup: *dedupFlag,
+		progress: *progress, maxRetries: *retries, retryBackoff: *backoff,
+		journalPath: *journal,
 	}
 	if *swarmPeers != "" {
 		if !*dedupFlag {
@@ -179,6 +181,7 @@ type xferOpts struct {
 	streams       int
 	extentBlocks  int
 	workers       int
+	readahead     int
 	compressLevel int
 	dedup         bool
 	swarmPeers    []string
@@ -194,6 +197,7 @@ func (o xferOpts) config() core.Config {
 		Streams:         o.streams,
 		MaxExtentBlocks: o.extentBlocks,
 		Workers:         o.workers,
+		Readahead:       o.readahead,
 		CompressLevel:   o.compressLevel,
 		Dedup:           o.dedup,
 		Swarm:           len(o.swarmPeers) > 0,

@@ -27,7 +27,15 @@ type MemDisk struct {
 type memDiskShard struct {
 	mu     sync.RWMutex
 	blocks map[int][]byte // only blocks that were ever written
+	slab   []byte         // spare storage first-writes carve block slices from
 }
+
+// memDiskSlabBlocks bounds how many blocks' worth of storage a shard
+// allocates at once. Carving first-write block storage from slabs keeps a
+// bulk restore (a migration landing on a cold destination disk) at one
+// allocation per slab instead of one per block, without giving up the
+// lazy, sparse footprint: slack is bounded by one partial slab per shard.
+const memDiskSlabBlocks = 64
 
 // NewMemDisk returns a zero-filled MemDisk with numBlocks blocks of
 // blockSize bytes.
@@ -86,7 +94,20 @@ func (m *MemDisk) WriteBlock(n int, src []byte) error {
 	s.mu.Lock()
 	blk := s.blocks[n]
 	if blk == nil {
-		blk = make([]byte, m.blockSize)
+		if len(s.slab) < m.blockSize {
+			// Size the slab to the disk: tiny disks get single-block slabs
+			// so an 8-block test fixture doesn't allocate 64 blocks' slack.
+			blocks := (m.numBlocks + memDiskShards - 1) / memDiskShards
+			if blocks > memDiskSlabBlocks {
+				blocks = memDiskSlabBlocks
+			}
+			if blocks < 1 {
+				blocks = 1
+			}
+			s.slab = make([]byte, blocks*m.blockSize)
+		}
+		blk = s.slab[:m.blockSize:m.blockSize]
+		s.slab = s.slab[m.blockSize:]
 		s.blocks[n] = blk
 	}
 	copy(blk, src)

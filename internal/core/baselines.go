@@ -589,6 +589,7 @@ func MigrateDeltaDest(cfg Config, host Host, conn transport.Conn) (*DestResult, 
 				if err := dev.WriteBlock(d.block, d.data); err != nil {
 					return err
 				}
+				transport.PutBuf(d.data) // queued at receive time; consumed here
 			}
 			rep.IOBlockedTime = t.clk.Now() - replayStart
 			redundant := 0

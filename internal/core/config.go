@@ -112,6 +112,16 @@ type Config struct {
 	// points.
 	Workers int
 
+	// Readahead, when positive, prefetches up to that many extents into
+	// pooled buffers while the current extent is on the wire, overlapping
+	// device reads with transport writes without reordering anything: the
+	// frame sequence stays identical to the sequential path, so the knob is
+	// purely local and needs no negotiation. Ignored when Workers > 1 (the
+	// worker pool already overlaps reads and sends) and on the dedup path
+	// (the advert/want alternation is inherently sequential). Zero (the
+	// default) keeps the fully sequential read→send loop.
+	Readahead int
+
 	// CompressLevel, when non-zero, DEFLATE-compresses the migration stream
 	// at that flate level (-1 = flate default, 1 fastest … 9 best, -2
 	// Huffman-only). Both endpoints must use the same setting — it changes
@@ -290,6 +300,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = DefaultWorkers
+	}
+	if c.Readahead < 0 {
+		c.Readahead = 0
 	}
 	if c.CompressLevel < -2 {
 		c.CompressLevel = -2

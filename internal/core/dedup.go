@@ -31,6 +31,7 @@ func (t *transfer) sendExtentsDedup(bm *bitmap.Bitmap, phaseName string, limited
 	bs := dev.BlockSize()
 	zero := dedup.ZeroFingerprint(bs)
 	var buf []byte
+	defer func() { transport.PutBuf(buf) }()
 	var fps []dedup.Fingerprint
 	sent := 0
 	var bytes int64
@@ -41,7 +42,8 @@ func (t *transfer) sendExtentsDedup(bm *bitmap.Bitmap, phaseName string, limited
 			return sent, bytes, nil
 		}
 		if need := ext.Count * bs; cap(buf) < need {
-			buf = make([]byte, need)
+			transport.PutBuf(buf)
+			buf = transport.GetBuf(maxExt * bs)
 		}
 		data := buf[:ext.Count*bs]
 		extStart := t.clk.Now()
@@ -74,10 +76,15 @@ func (t *transfer) sendExtentsDedup(bm *bitmap.Bitmap, phaseName string, limited
 func (t *transfer) sendDedupExtent(ext bitmap.Extent, data []byte, fps []dedup.Fingerprint, allZero bool, phaseName string, limited bool) (int64, error) {
 	bs := t.host.Backend.Device().BlockSize()
 	arg := transport.ExtentArg(ext.Start, ext.Count)
+	// Fingerprint payloads (adverts, references) are staged in one pooled
+	// scratch buffer: sends only borrow their payload, so the scratch is
+	// reusable the moment each send returns.
+	fpBuf := transport.GetBuf(len(fps) * dedup.FingerprintSize)
+	defer transport.PutBuf(fpBuf)
 	if allZero {
 		// Zero elision: the destination materializes zeros with no round
 		// trip and no staging — the zero fingerprint is always resolvable.
-		m := transport.Message{Type: transport.MsgBlockRef, Arg: arg, Payload: dedup.AppendFingerprints(nil, fps)}
+		m := transport.Message{Type: transport.MsgBlockRef, Arg: arg, Payload: dedup.AppendFingerprints(fpBuf[:0], fps)}
 		if err := t.send(m, limited); err != nil {
 			return 0, err
 		}
@@ -88,7 +95,7 @@ func (t *transfer) sendDedupExtent(ext bitmap.Extent, data []byte, fps []dedup.F
 		m := extentMessage(ext, data)
 		return int64(m.FrameSize()), t.send(m, limited)
 	}
-	adv := transport.Message{Type: transport.MsgHashAdvert, Arg: arg, Payload: dedup.AppendFingerprints(nil, fps)}
+	adv := transport.Message{Type: transport.MsgHashAdvert, Arg: arg, Payload: dedup.AppendFingerprints(fpBuf[:0], fps)}
 	if err := t.send(adv, limited); err != nil {
 		return 0, err
 	}
@@ -112,7 +119,7 @@ func (t *transfer) sendDedupExtent(ext bitmap.Extent, data []byte, fps []dedup.F
 			m = transport.Message{
 				Type:    transport.MsgBlockRef,
 				Arg:     transport.ExtentArg(sub.Start, sub.Count),
-				Payload: dedup.AppendFingerprints(nil, fps[off:off+n]),
+				Payload: dedup.AppendFingerprints(fpBuf[:0], fps[off:off+n]),
 			}
 			t.dedupBlocks += sub.Count
 		}
@@ -122,6 +129,7 @@ func (t *transfer) sendDedupExtent(ext bitmap.Extent, data []byte, fps []dedup.F
 		wire += int64(m.FrameSize())
 		return nil
 	})
+	transport.PutBuf(want) // the reply's pooled payload, fully consumed
 	return wire, err
 }
 

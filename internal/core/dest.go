@@ -198,6 +198,10 @@ func (d *destRun) preCopyReceive() error {
 			d.noteProgress(func(p *destProgress) { p.flags |= destSuspendSeen })
 			return nil
 		}),
+		// Data-frame appliers own their pooled payloads (the Recv transfer
+		// contract) and release them inside the scatter closure, after the
+		// device write and dedup observation — i.e. no earlier than the
+		// drain barrier any later control frame waits on.
 		transport.MsgBlockData: func(m transport.Message) error {
 			d.noteRecvBlocks(int(m.Arg), int(m.Arg)+1)
 			return d.scatterApply(func() error {
@@ -207,6 +211,7 @@ func (d *destRun) preCopyReceive() error {
 				if d.dd != nil {
 					d.dd.observe(int(m.Arg), m.Payload)
 				}
+				m.Release()
 				return nil
 			})
 		},
@@ -228,6 +233,7 @@ func (d *destRun) preCopyReceive() error {
 						d.dd.observe(ext.Start+k, blk)
 					}
 				}
+				transport.PutBuf(payload)
 				return nil
 			})
 		},
@@ -237,7 +243,13 @@ func (d *destRun) preCopyReceive() error {
 					p.recvMem.Set(n)
 				}
 			})
-			return d.scatterApply(func() error { return d.applyPage(m) })
+			return d.scatterApply(func() error {
+				if err := d.applyPage(m); err != nil {
+					return err
+				}
+				m.Release()
+				return nil
+			})
 		},
 		transport.MsgCPUState: d.drainOn(func(m transport.Message) error {
 			cpu := vm.CPUState{Registers: append([]byte(nil), m.Payload...)}
@@ -340,7 +352,13 @@ func (d *destRun) postCopyReceive(res *DestResult) error {
 		switch m.Type {
 		case transport.MsgBlockData:
 			n, payload := int(m.Arg), m.Payload
-			if err := d.scatterApply(func() error { return gate.ReceiveBlock(n, payload) }); err != nil {
+			if err := d.scatterApply(func() error {
+				if err := gate.ReceiveBlock(n, payload); err != nil {
+					return err
+				}
+				transport.PutBuf(payload)
+				return nil
+			}); err != nil {
 				return err
 			}
 		case transport.MsgExtent:
@@ -355,6 +373,7 @@ func (d *destRun) postCopyReceive(res *DestResult) error {
 						return err
 					}
 				}
+				transport.PutBuf(payload)
 				return nil
 			}); err != nil {
 				return err

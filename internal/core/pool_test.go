@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"bbmig/internal/transport"
+)
+
+// TestPoisonedPoolMigrations runs full migrations with the buffer pool's
+// use-after-release poison mode armed: every released payload is scribbled
+// over before it can be recycled, so any path that touches a buffer after
+// handing it back — applier, dedup observer, replay queue, compression
+// stage — corrupts data deterministically and fails the convergence check.
+// The matrix covers every composition the release discipline threads
+// through: readahead prefetch, striped multi-stream with scatter workers,
+// negotiated compression, and content dedup. Run with -race, the striped
+// rows double as the concurrent send/recv pool-recycling race test.
+func TestPoisonedPoolMigrations(t *testing.T) {
+	transport.SetBufPoison(true)
+	defer transport.SetBufPoison(false)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"per-block", Config{}},
+		{"readahead", Config{MaxExtentBlocks: 16, Readahead: 4}},
+		{"striped-workers", Config{Streams: 4, MaxExtentBlocks: 16, Workers: 4}},
+		{"compressed", Config{MaxExtentBlocks: 16, CompressLevel: -1}},
+		{"compressed-workers", Config{MaxExtentBlocks: 16, CompressLevel: -1, Workers: 4}},
+		{"dedup", Config{Dedup: true, MaxExtentBlocks: 16}},
+		{"dedup-striped", Config{Dedup: true, MaxExtentBlocks: 16, Streams: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := newEnv(t)
+			e.useStriped(tc.cfg.Streams)
+			_, res := e.runTPM(tc.cfg, nil)
+			e.checkConverged(res.CPU)
+		})
+	}
+}
+
+// TestWireTraceReadaheadEquivalence proves the readahead path is a pure
+// pipelining change: with identical configs otherwise, the prefetching
+// sender emits a frame-for-frame identical dialogue (types, args, payload
+// hashes, order) to the sequential extent path.
+func TestWireTraceReadaheadEquivalence(t *testing.T) {
+	run := func(readahead int) []string {
+		e := newTraceEnv(t)
+		src, dst := runTraced(t, e, Config{MaxExtentBlocks: 8, Readahead: readahead}, nil)
+		return append(src, dst...)
+	}
+	seq := run(0)
+	ra := run(4)
+	if len(seq) != len(ra) {
+		t.Fatalf("frame count diverges: sequential %d, readahead %d", len(seq), len(ra))
+	}
+	for i := range seq {
+		if seq[i] != ra[i] {
+			t.Fatalf("frame %d diverges:\n  sequential: %s\n  readahead:  %s", i, seq[i], ra[i])
+		}
+	}
+}

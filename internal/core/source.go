@@ -229,6 +229,7 @@ func (s *sourceRun) waitWant(arg uint64) ([]byte, error) {
 		select {
 		case m := <-s.wantCh:
 			if m.Arg != arg {
+				m.Release() // stale epoch's reply, fully superseded
 				continue
 			}
 			return m.Payload, nil
@@ -592,9 +593,11 @@ func (s *sourceRun) pushBlocks(rep *metrics.Report, bm *bitmap.Bitmap) error {
 	dev := s.host.Backend.Device()
 	bs := dev.BlockSize()
 	var buf []byte
+	defer func() { transport.PutBuf(buf) }()
 	sendExtent := func(e bitmap.Extent) error {
 		if need := e.Count * bs; cap(buf) < need {
-			buf = make([]byte, need)
+			transport.PutBuf(buf)
+			buf = transport.GetBuf(need)
 		}
 		data := buf[:e.Count*bs]
 		for k := 0; k < e.Count; k++ {
@@ -663,7 +666,8 @@ func (s *sourceRun) readLoop(done chan struct{}) {
 				case s.wantCh <- m:
 				default:
 					select {
-					case <-s.wantCh:
+					case stale := <-s.wantCh:
+						stale.Release()
 					default:
 					}
 					continue

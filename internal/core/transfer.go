@@ -210,6 +210,7 @@ func (t *transfer) acceptHandshake() error {
 		return fmt.Errorf("core: source memory %dx%d, shell %dx%d",
 			geom.NumPages, geom.PageSize, mem.NumPages(), mem.PageSize())
 	}
+	hello.Release() // token and geometry both copied out above
 	return t.send(transport.Message{Type: transport.MsgHelloAck, Arg: ackArg}, false)
 }
 
@@ -259,9 +260,10 @@ func (t *transfer) sendBlocks(bm *bitmap.Bitmap, phaseName string, limited bool)
 		return t.sendExtentsDedup(bm, phaseName, limited)
 	}
 	_, fixedPolicy := t.pol.(DefaultPolicy)
-	if t.cfg.Workers <= 1 && t.cfg.MaxExtentBlocks <= 1 && fixedPolicy {
+	if t.cfg.Workers <= 1 && t.cfg.MaxExtentBlocks <= 1 && t.cfg.Readahead <= 0 && fixedPolicy {
 		dev := t.host.Backend.Device()
-		buf := make([]byte, dev.BlockSize())
+		buf := transport.GetBuf(dev.BlockSize())
+		defer transport.PutBuf(buf)
 		sent := 0
 		var bytes int64
 		var fail error
@@ -281,10 +283,13 @@ func (t *transfer) sendBlocks(bm *bitmap.Bitmap, phaseName string, limited bool)
 		})
 		return sent, bytes, fail
 	}
-	if t.cfg.Workers <= 1 {
-		return t.sendExtentsSeq(bm, phaseName, limited)
+	if t.cfg.Workers > 1 {
+		return t.sendExtentsPooled(bm, phaseName, limited)
 	}
-	return t.sendExtentsPooled(bm, phaseName, limited)
+	if t.cfg.Readahead > 0 {
+		return t.sendExtentsReadahead(bm, phaseName, limited)
+	}
+	return t.sendExtentsSeq(bm, phaseName, limited)
 }
 
 // sendExtentsSeq walks bm's runs with a cursor, re-consulting the policy for
@@ -294,6 +299,7 @@ func (t *transfer) sendExtentsSeq(bm *bitmap.Bitmap, phaseName string, limited b
 	dev := t.host.Backend.Device()
 	bs := dev.BlockSize()
 	var buf []byte
+	defer func() { transport.PutBuf(buf) }()
 	sent := 0
 	var bytes int64
 	for pos := 0; ; {
@@ -303,7 +309,8 @@ func (t *transfer) sendExtentsSeq(bm *bitmap.Bitmap, phaseName string, limited b
 			return sent, bytes, nil
 		}
 		if need := ext.Count * bs; cap(buf) < need {
-			buf = make([]byte, maxExt*bs)
+			transport.PutBuf(buf)
+			buf = transport.GetBuf(maxExt * bs)
 		}
 		data := buf[:ext.Count*bs]
 		extStart := t.clk.Now()
@@ -364,12 +371,14 @@ func (t *transfer) sendExtentsPooled(bm *bitmap.Bitmap, phaseName string, limite
 		go func() {
 			defer wg.Done()
 			var buf []byte
+			defer func() { transport.PutBuf(buf) }()
 			for ext := range jobs {
 				if fail.failed.Load() {
 					continue // drain the queue so the producer never blocks
 				}
 				if need := ext.Count * bs; cap(buf) < need {
-					buf = make([]byte, need)
+					transport.PutBuf(buf)
+					buf = transport.GetBuf(need)
 				}
 				data := buf[:ext.Count*bs]
 				readOK := true
@@ -408,11 +417,83 @@ func (t *transfer) sendExtentsPooled(bm *bitmap.Bitmap, phaseName string, limite
 	return int(sent.Load()), bytes.Load(), fail.get()
 }
 
+// sendExtentsReadahead walks bm's runs like sendExtentsSeq but decouples
+// device reads from transport writes: a prefetch goroutine assembles up to
+// cfg.Readahead extents into pooled buffers ahead of the sender, so the
+// next extent's blocks are read while the current one is on the wire. The
+// sender drains the queue in cursor order, which keeps the frame sequence
+// — and therefore the golden wire traces — identical to the sequential
+// path.
+func (t *transfer) sendExtentsReadahead(bm *bitmap.Bitmap, phaseName string, limited bool) (int, int64, error) {
+	dev := t.host.Backend.Device()
+	bs := dev.BlockSize()
+	type job struct {
+		ext  bitmap.Extent
+		data []byte // pooled; ownership passes to the sender
+		err  error
+	}
+	jobs := make(chan job, t.cfg.Readahead)
+	stop := make(chan struct{})
+	go func() {
+		defer close(jobs)
+		for pos := 0; ; {
+			ext := bm.NextExtent(pos, t.extentBlocks(phaseName))
+			if ext.Count == 0 {
+				return
+			}
+			pos = ext.End()
+			data := transport.GetBuf(ext.Count * bs)
+			var jerr error
+			for k := 0; k < ext.Count; k++ {
+				if err := dev.ReadBlock(ext.Start+k, data[k*bs:(k+1)*bs]); err != nil {
+					jerr = err
+					break
+				}
+			}
+			select {
+			case jobs <- job{ext: ext, data: data, err: jerr}:
+			case <-stop:
+				transport.PutBuf(data)
+				return
+			}
+			if jerr != nil {
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(stop)
+		for j := range jobs { // reclaim extents prefetched past a failure
+			transport.PutBuf(j.data)
+		}
+	}()
+	sent := 0
+	var bytes int64
+	for j := range jobs {
+		if j.err != nil {
+			transport.PutBuf(j.data)
+			return sent, bytes, j.err
+		}
+		sendStart := t.clk.Now()
+		m := extentMessage(j.ext, j.data)
+		err := t.send(m, limited)
+		transport.PutBuf(j.data)
+		if err != nil {
+			return sent, bytes, err
+		}
+		t.pol.ObserveExtent(j.ext.Count, int64(m.FrameSize()), t.clk.Now()-sendStart)
+		sent += j.ext.Count
+		bytes += int64(m.FrameSize())
+	}
+	return sent, bytes, nil
+}
+
 // sendPages streams every page marked in bm. Pages are never coalesced —
 // each MsgMemPage is its own frame, the Xen-style format.
 func (t *transfer) sendPages(bm *bitmap.Bitmap, limited bool) (int, int64, error) {
 	mem := t.host.VM.Memory()
-	buf := make([]byte, mem.PageSize())
+	buf := transport.GetBuf(mem.PageSize())
+	defer transport.PutBuf(buf)
 	sent := 0
 	var bytes int64
 	var fail error
@@ -613,6 +694,12 @@ type frameHandlers map[transport.MsgType]func(transport.Message) error
 // is fed here. Receives ride destRecv, so a resumable destination survives
 // connection loss mid-loop: duplicate frames the reconnecting source re-sends
 // are applied idempotently by the handlers.
+//
+// Buffer ownership: non-data frames are consumed synchronously by their
+// handlers (every handler parses or copies what it keeps), so their pooled
+// payloads are released here. Data frames pass through to appliers that may
+// defer the write into the scatter pool; those release their own payloads
+// once applied (or leave them to the GC on cold paths — see bufpool.go).
 func (t *transfer) recvLoop(until transport.MsgType, handlers frameHandlers) error {
 	for {
 		m, err := t.destRecv()
@@ -621,6 +708,7 @@ func (t *transfer) recvLoop(until transport.MsgType, handlers frameHandlers) err
 		}
 		t.noteWire()
 		if m.Type == until {
+			m.Release()
 			return nil
 		}
 		if m.Type == transport.MsgError {
@@ -631,10 +719,17 @@ func (t *transfer) recvLoop(until transport.MsgType, handlers frameHandlers) err
 			return fmt.Errorf("core: unexpected message %v", m.Type)
 		}
 		if fn == nil {
+			m.Release()
 			continue
 		}
 		if err := fn(m); err != nil {
 			return err
+		}
+		if !transport.IsDataFrame(m.Type) && m.Type != transport.MsgDelta {
+			// MsgDelta is the one non-data frame whose handler retains the
+			// payload (the forward-and-replay queue); its replay loop
+			// releases the buffers once applied.
+			m.Release()
 		}
 	}
 }

@@ -36,6 +36,11 @@ type Compressed struct {
 	// pool's sends deflate different extents in parallel instead of
 	// serializing on one shared writer.
 	pool sync.Pool // *compressor
+
+	// Each Recv takes a decompressor from the pool: the flate reader's
+	// ~32 KiB window and internal state are reused across payloads instead
+	// of being rebuilt per frame.
+	dpool sync.Pool // *decompressor
 }
 
 // compressor is one reusable flate writer + staging buffer.
@@ -43,6 +48,16 @@ type compressor struct {
 	buf bytes.Buffer
 	fw  *flate.Writer
 }
+
+// decompressor is one reusable flate reader + its byte source.
+type decompressor struct {
+	br *bytes.Reader
+	fr io.ReadCloser // flate reader; also a flate.Resetter
+}
+
+// rawEmpty is the wire form of an empty payload: a lone raw marker. It is
+// shared — Send only ever borrows it, never mutates it.
+var rawEmpty = []byte{compressRaw}
 
 // NewCompressed wraps inner at the given flate level (flate.DefaultCompression
 // if 0).
@@ -68,21 +83,31 @@ func NewCompressedPolicy(inner Conn, level int, decide func(kind MsgType, size i
 		co.fw, _ = flate.NewWriter(&co.buf, level)
 		return co
 	}
+	c.dpool.New = func() any {
+		d := &decompressor{br: bytes.NewReader(nil)}
+		d.fr = flate.NewReader(d.br)
+		return d
+	}
 	return c, nil
 }
 
-// Send implements Conn.
+// Send implements Conn. Wire payloads are staged in pooled buffers (or the
+// compressor's own staging buffer, held until the inner Send returns —
+// legal because Send only borrows its payload), so the compression layer
+// adds no steady-state allocations.
 func (c *Compressed) Send(m Message) error {
 	if len(m.Payload) == 0 {
-		m.Payload = []byte{compressRaw}
+		m.Payload = rawEmpty
 		return c.inner.Send(m)
 	}
 	if c.decide != nil && !c.decide(m.Type, len(m.Payload)) {
-		out := make([]byte, 0, len(m.Payload)+1)
-		out = append(out, compressRaw)
-		out = append(out, m.Payload...)
+		out := GetBuf(len(m.Payload) + 1)
+		out[0] = compressRaw
+		copy(out[1:], m.Payload)
 		m.Payload = out
-		return c.inner.Send(m)
+		err := c.inner.Send(m)
+		PutBuf(out)
+		return err
 	}
 	co := c.pool.Get().(*compressor)
 	co.buf.Reset()
@@ -96,20 +121,25 @@ func (c *Compressed) Send(m Message) error {
 		c.pool.Put(co)
 		return fmt.Errorf("transport: compress flush: %w", err)
 	}
-	var out []byte
+	var out, pooled []byte
 	if co.buf.Len() < len(m.Payload)+1 {
-		out = append(out, co.buf.Bytes()...)
+		out = co.buf.Bytes()
 	} else {
-		out = make([]byte, 0, len(m.Payload)+1)
-		out = append(out, compressRaw)
-		out = append(out, m.Payload...)
+		pooled = GetBuf(len(m.Payload) + 1)
+		pooled[0] = compressRaw
+		copy(pooled[1:], m.Payload)
+		out = pooled
 	}
-	c.pool.Put(co)
 	if c.observe != nil {
 		c.observe(m.Type, len(m.Payload), len(out))
 	}
 	m.Payload = out
-	return c.inner.Send(m)
+	err := c.inner.Send(m)
+	c.pool.Put(co)
+	if pooled != nil {
+		PutBuf(pooled)
+	}
+	return err
 }
 
 // Recv implements Conn.
@@ -125,24 +155,60 @@ func (c *Compressed) Recv() (Message, error) {
 	switch marker {
 	case compressRaw:
 		if len(body) == 0 {
-			m.Payload = nil
+			m.Release()
 		} else {
-			m.Payload = body
+			// Slide the body over the marker in place: the payload keeps
+			// its original capacity, so the buffer stays releasable to its
+			// pool class downstream.
+			n := copy(m.Payload, body)
+			m.Payload = m.Payload[:n]
 		}
 		return m, nil
 	case compressDeflate:
-		fr := flate.NewReader(bytes.NewReader(body))
-		out, err := io.ReadAll(fr)
+		d := c.dpool.Get().(*decompressor)
+		d.br.Reset(body)
+		if err := d.fr.(flate.Resetter).Reset(d.br, nil); err != nil {
+			return m, fmt.Errorf("transport: decompress reset: %w", err)
+		}
+		out, err := readAllPooled(d.fr, len(body)*4)
+		c.dpool.Put(d)
 		if err != nil {
 			return m, fmt.Errorf("transport: decompress %v: %w", m.Type, err)
 		}
-		if err := fr.Close(); err != nil {
-			return m, fmt.Errorf("transport: decompress close: %w", err)
-		}
+		m.Release() // wire buffer fully consumed
 		m.Payload = out
 		return m, nil
 	default:
 		return m, fmt.Errorf("transport: unknown compression marker %d", marker)
+	}
+}
+
+// readAllPooled reads r to EOF into a pooled buffer sized by hint, growing
+// through pool classes as needed. The caller owns the returned buffer.
+func readAllPooled(r io.Reader, hint int) ([]byte, error) {
+	if hint < 1<<12 {
+		hint = 1 << 12
+	}
+	out := GetBuf(hint)
+	out = out[:cap(out)]
+	n := 0
+	for {
+		if n == len(out) {
+			grown := GetBuf(2 * len(out))
+			grown = grown[:cap(grown)]
+			copy(grown, out[:n])
+			PutBuf(out)
+			out = grown
+		}
+		k, err := r.Read(out[n:])
+		n += k
+		if err == io.EOF {
+			return out[:n], nil
+		}
+		if err != nil {
+			PutBuf(out)
+			return nil, err
+		}
 	}
 }
 

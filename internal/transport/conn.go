@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -27,43 +28,66 @@ type Conn interface {
 // streamConn frames messages over any byte stream.
 type streamConn struct {
 	sendMu sync.Mutex
-	w      *bufio.Writer
+	w      io.Writer
 	r      *bufio.Reader
 	c      io.Closer
-	buf    []byte // reused encode buffer, guarded by sendMu
+	hdr    [headerLen]byte // reused send header, guarded by sendMu
+	small  []byte          // staging buffer for small frames, guarded by sendMu
+	rhdr   [headerLen]byte // reused recv header (Recv is single-consumer)
 }
+
+// vectoredMin is the payload size at which Send switches from staging the
+// frame into one contiguous buffer to a vectored header+payload write
+// (writev on a TCP conn). Below it, the copy is cheaper than a second
+// iovec; above it, the copy would dominate.
+const vectoredMin = 1 << 10
 
 // NewStream wraps a byte stream (typically a *net.TCPConn) as a Conn.
 func NewStream(rw io.ReadWriteCloser) Conn {
 	return &streamConn{
-		w: bufio.NewWriterSize(rw, 256<<10),
+		w: rw,
 		r: bufio.NewReaderSize(rw, 256<<10),
 		c: rw,
 	}
 }
 
-// Send implements Conn. Each message is flushed immediately: migration
-// control messages are latency-sensitive (a buffered SUSPEND would inflate
-// downtime).
+// Send implements Conn. Each message reaches the stream before Send
+// returns — migration control messages are latency-sensitive (a buffered
+// SUSPEND would inflate downtime) — and the payload is only borrowed: the
+// caller owns it again, for reuse or release, as soon as Send returns.
+// Small frames are staged into one contiguous write; large payloads go out
+// as a vectored header+payload pair, which on a TCP conn is a single
+// writev instead of two small writes defeating segment coalescing.
 func (s *streamConn) Send(m Message) error {
+	if len(m.Payload) > MaxPayload {
+		return fmt.Errorf("transport: payload %d exceeds max %d", len(m.Payload), MaxPayload)
+	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
-	b, err := encode(s.buf[:0], m)
-	if err != nil {
-		return err
+	hdr := s.hdr[:]
+	hdr[0] = byte(m.Type)
+	binary.LittleEndian.PutUint64(hdr[1:], m.Arg)
+	binary.LittleEndian.PutUint32(hdr[9:], uint32(len(m.Payload)))
+	if len(m.Payload) >= vectoredMin {
+		bufs := net.Buffers{hdr, m.Payload}
+		if _, err := bufs.WriteTo(s.w); err != nil {
+			return fmt.Errorf("transport: send %v: %w", m.Type, err)
+		}
+		return nil
 	}
-	s.buf = b[:0]
+	if s.small == nil {
+		s.small = make([]byte, 0, headerLen+vectoredMin)
+	}
+	b := append(s.small[:0], hdr...)
+	b = append(b, m.Payload...)
 	if _, err := s.w.Write(b); err != nil {
 		return fmt.Errorf("transport: send %v: %w", m.Type, err)
-	}
-	if err := s.w.Flush(); err != nil {
-		return fmt.Errorf("transport: flush %v: %w", m.Type, err)
 	}
 	return nil
 }
 
 // Recv implements Conn.
-func (s *streamConn) Recv() (Message, error) { return readMessage(s.r) }
+func (s *streamConn) Recv() (Message, error) { return readMessageHdr(s.r, &s.rhdr) }
 
 // Close implements Conn.
 func (s *streamConn) Close() error { return s.c.Close() }

@@ -195,9 +195,19 @@ func encode(buf []byte, m Message) ([]byte, error) {
 	return buf, nil
 }
 
-// readMessage decodes one frame from r.
+// readMessage decodes one frame from r. The payload is drawn from the
+// buffer pool and ownership transfers to the caller (see bufpool.go);
+// zero-length payloads allocate nothing at all.
 func readMessage(r io.Reader) (Message, error) {
 	var hdr [headerLen]byte
+	return readMessageHdr(r, &hdr)
+}
+
+// readMessageHdr is readMessage with a caller-owned header scratch: the
+// array would otherwise escape through the io.Reader interface and cost
+// one heap allocation per frame — exactly the per-frame overhead the
+// pooled path exists to eliminate.
+func readMessageHdr(r io.Reader, hdr *[headerLen]byte) (Message, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
 	}
@@ -210,8 +220,9 @@ func readMessage(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("transport: frame payload %d exceeds max %d", n, MaxPayload)
 	}
 	if n > 0 {
-		m.Payload = make([]byte, n)
+		m.Payload = GetBuf(int(n))
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			PutBuf(m.Payload)
 			return Message{}, fmt.Errorf("transport: short payload: %w", err)
 		}
 	}

@@ -41,12 +41,16 @@ func (p *pipeConn) Send(m Message) error {
 	if len(m.Payload) > MaxPayload {
 		return errors.New("transport: payload too large")
 	}
-	// Copy the payload: the engine reuses buffers, and a real socket would
-	// have serialized the bytes at send time.
-	if m.Payload != nil {
-		cp := make([]byte, len(m.Payload))
+	// Copy the payload into a pooled buffer: the engine reuses buffers, and
+	// a real socket would have serialized the bytes at send time. The copy
+	// is what makes Send borrow-only on pipes too — the receiver gets its
+	// own pooled buffer, released (or not) under the usual Recv contract.
+	if len(m.Payload) > 0 {
+		cp := GetBuf(len(m.Payload))
 		copy(cp, m.Payload)
 		m.Payload = cp
+	} else if m.Payload != nil {
+		m.Payload = []byte{}
 	}
 	// Check for closure first: with buffer space free, the select below
 	// would otherwise pick randomly between the closed channel and the
