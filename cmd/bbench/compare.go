@@ -32,8 +32,11 @@ const headlinePrefix = "MigrateModeledLink/"
 // loopback-TCP rows, too noisy for a cross-machine throughput gate, are
 // gated on allocations: an accidental per-block allocation on the hot path
 // multiplies the count by orders of magnitude and trips the same 25%
-// tolerance long before it shows up in wall-clock.
-var allocGatePrefixes = []string{"MigrateModeledLink/", "MigrateTCP/"}
+// tolerance long before it shows up in wall-clock. The SnapshotScan rows
+// ride the same gate: the live-contended scan is allocation-free and the
+// snapshot scan allocates only CoW copies, so a leak in the cache's
+// Get/Release or snapshot overlay paths trips it immediately.
+var allocGatePrefixes = []string{"MigrateModeledLink/", "MigrateTCP/", "SnapshotScan/"}
 
 // loadBenchFile reads a BENCH_*.json snapshot. Any schema in the
 // "bbmig-bench/v1" family is accepted — v1 snapshots simply carry no

@@ -74,6 +74,7 @@ import (
 	"bbmig/internal/bitmap"
 	"bbmig/internal/blkback"
 	"bbmig/internal/blockdev"
+	"bbmig/internal/blockdev/bcache"
 	"bbmig/internal/clock"
 	"bbmig/internal/core"
 	"bbmig/internal/transport"
@@ -108,6 +109,7 @@ func main() {
 		backoff    = flag.Duration("retry-backoff", 0, "send: base reconnect delay (doubles per attempt; 0 = default)")
 		journal    = flag.String("journal", "", "send: persist the migration journal (cursor + pending bitmap) to this file")
 		resume     = flag.Bool("resume", false, "send: cold-resume from -journal after a source restart (incremental re-run of the owed blocks)")
+		cacheBlk   = flag.Int("cache-blocks", 0, "front the image with a write-back block cache of this many blocks; migration reads come from CoW snapshots of it (0 = direct file I/O)")
 	)
 	flag.Parse()
 
@@ -119,7 +121,7 @@ func main() {
 		streams: *streams, extentBlocks: *extentBlk, workers: *workers,
 		readahead: *readahead, compressLevel: level, dedup: *dedupFlag,
 		progress: *progress, maxRetries: *retries, retryBackoff: *backoff,
-		journalPath: *journal,
+		journalPath: *journal, cacheBlocks: *cacheBlk,
 	}
 	if *swarmPeers != "" {
 		if !*dedupFlag {
@@ -189,6 +191,7 @@ type xferOpts struct {
 	maxRetries    int
 	retryBackoff  time.Duration
 	journalPath   string
+	cacheBlocks   int
 }
 
 // config renders the shared knobs as an engine Config.
@@ -258,6 +261,19 @@ func acceptConn(l net.Listener, o xferOpts) (transport.Conn, error) {
 	return transport.AcceptStriped(l, nil)
 }
 
+// cacheWrap fronts a file-backed image with a write-back block cache when
+// -cache-blocks is set; the engine then reads pre-copy data from CoW
+// snapshots of the cache instead of the contended live device. The returned
+// flush writes buffered dirty blocks back to the file and must run before
+// the image file is read directly, synced, or closed.
+func cacheWrap(fd *blockdev.FileDisk, opts xferOpts) (blockdev.Device, func() error) {
+	if opts.cacheBlocks <= 0 {
+		return fd, func() error { return nil }
+	}
+	vol := bcache.New(fd, opts.cacheBlocks)
+	return vol, vol.Release
+}
+
 func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, seed int64, speedup float64, opts xferOpts, initialBMPath string, coldResume bool) error {
 	if addr == "" || image == "" {
 		return fmt.Errorf("send mode needs -addr and -image")
@@ -267,8 +283,10 @@ func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, se
 		return err
 	}
 	defer disk.Close()
+	dev, flushCache := cacheWrap(disk, opts)
+	defer func() { _ = flushCache() }() // error path; the success path flushes explicitly
 	guest := vm.New("guest", 1, memMB<<20/vm.PageSize, 4096)
-	backend := blkback.NewBackend(disk, guest.DomainID)
+	backend := blkback.NewBackend(dev, guest.DomainID)
 	router := core.NewRouter(backend.Submit)
 
 	// Optional synthetic workload during the migration.
@@ -352,6 +370,9 @@ func runSend(addr, image string, sizeMB, memMB int, wl string, limitMbps int, se
 	if err != nil {
 		return err
 	}
+	if err := flushCache(); err != nil {
+		return err
+	}
 	fmt.Print(rep.String())
 	if rep.Retries > 0 {
 		fmt.Printf("survived %d connection failure(s) by resuming the session\n", rep.Retries)
@@ -387,9 +408,11 @@ func recvServe(l net.Listener, image string, sizeMB, memMB int, opts xferOpts, f
 		return err
 	}
 	defer disk.Close()
+	dev, flushCache := cacheWrap(disk, opts)
+	defer func() { _ = flushCache() }()
 	shell := vm.New("guest", 1, memMB<<20/vm.PageSize, 0)
 	shell.Suspend() // destination shells are born frozen
-	backend := blkback.NewBackend(disk, shell.DomainID)
+	backend := blkback.NewBackend(dev, shell.DomainID)
 
 	cfg := opts.config()
 	cfg.OnResume = func(g *blkback.PostCopyGate) {
@@ -403,6 +426,9 @@ func recvServe(l net.Listener, image string, sizeMB, memMB int, opts xferOpts, f
 	}
 	res, err := core.MigrateDest(cfg, core.Host{VM: shell, Backend: backend}, conn)
 	if err != nil {
+		return err
+	}
+	if err := flushCache(); err != nil {
 		return err
 	}
 	if err := disk.Sync(); err != nil {
@@ -453,10 +479,14 @@ func runDemo(sizeMB, memMB int, wl string, seed int64, opts xferOpts) error {
 			return
 		}
 		defer disk.Close()
+		dev, flushCache := cacheWrap(disk, opts)
 		shell := vm.New("guest", 1, memMB<<20/vm.PageSize, 0)
 		shell.Suspend()
-		backend := blkback.NewBackend(disk, shell.DomainID)
+		backend := blkback.NewBackend(dev, shell.DomainID)
 		res, err := core.MigrateDest(opts.config(), core.Host{VM: shell, Backend: backend}, conn)
+		if ferr := flushCache(); ferr != nil && err == nil {
+			err = ferr // the image file is compared below; buffered blocks must land
+		}
 		if err == nil {
 			fmt.Printf("demo receiver: synchronized; %d blocks pulled, fresh bitmap %d blocks\n",
 				res.Report.BlocksPulled, res.Gate.FreshBitmap().Count())

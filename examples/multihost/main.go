@@ -20,6 +20,7 @@ import (
 	"log"
 	"time"
 
+	"bbmig/internal/blockdev"
 	"bbmig/internal/cluster"
 	"bbmig/internal/core"
 	"bbmig/internal/hostd"
@@ -85,8 +86,12 @@ func main() {
 	if !ok {
 		log.Fatal("webvm lost")
 	}
+	footprint := 0
+	if a, ok := d.Disk().(blockdev.Allocator); ok {
+		footprint = a.AllocatedBitmap().Count()
+	}
 	fmt.Printf("\nwebvm finished its tour on %s, VM %v, disk footprint %d blocks\n",
-		office.Name, d.VM().State(), d.Disk().WrittenBlocks())
+		office.Name, d.VM().State(), footprint)
 	fmt.Println("every revisit transferred only the divergence — the paper's §VII goal")
 
 	// --- Act two: planned maintenance. The office host must go down, so the

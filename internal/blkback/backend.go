@@ -8,7 +8,11 @@
 //     when tracking is enabled, records the location of every written block
 //     in an atomic block-bitmap ("if the blkback intercepts a write request,
 //     it will split the requested area into 4K blocks and set corresponding
-//     bits in the block-bitmap").
+//     bits in the block-bitmap"). That is ALL it does now: since the Volume
+//     redesign the migration engine reads frozen snapshots of the volume
+//     (see Volume) instead of reaching through the gate to the raw device,
+//     so the write-intercept is pure dirty tracking with no entanglement in
+//     how migration data is read.
 //   - PostCopyGate: the destination-side driver used during the post-copy
 //     phase. It implements the paper's two pseudocode listings from §IV-A-3
 //     verbatim: the I/O-intercept algorithm (pending list P, write→mark new
@@ -62,8 +66,20 @@ func NewBackend(dev blockdev.Device, domain int) *Backend {
 	}
 }
 
-// Device returns the wrapped device.
+// Device returns the wrapped device: the guest's live I/O path, and the
+// destination engine's apply target. Source-side migration reads should go
+// through Volume snapshots instead.
 func (b *Backend) Device() blockdev.Device { return b.dev }
+
+// Volume returns the wrapped device's snapshot capability when it was wired
+// with one (hostd backs every domain with a bcache volume). The migration
+// engine freezes point-in-time snapshots through it for each pre-copy pass,
+// which is what lets this gate stay a pure dirty tracker: consistent read
+// views are the volume's job, not the write-intercept's.
+func (b *Backend) Volume() (blockdev.Volume, bool) {
+	v, ok := b.dev.(blockdev.Volume)
+	return v, ok
+}
 
 // Domain returns the tracked domain ID.
 func (b *Backend) Domain() int { return b.domain }

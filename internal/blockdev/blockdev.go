@@ -12,9 +12,11 @@
 package blockdev
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"sync"
 
 	"bbmig/internal/bitmap"
 )
@@ -82,6 +84,50 @@ type Device interface {
 // Capacity returns the device size in bytes.
 func Capacity(d Device) int64 { return int64(d.BlockSize()) * int64(d.NumBlocks()) }
 
+// Snapshot is a frozen point-in-time view of a Volume. It is a read-only
+// Device: ReadBlock always returns the contents the volume held at the
+// instant the snapshot was taken, no matter how the live volume has been
+// written since; WriteBlock fails with ErrSnapshotReadOnly. Release frees
+// the copy-aside storage — every snapshot must be released exactly once,
+// and reads after Release fail.
+type Snapshot interface {
+	Device
+	// Release drops the snapshot and frees its copy-aside blocks.
+	Release()
+}
+
+// Volume is the redesigned storage surface the engine and host daemon
+// operate on: a Device that can also freeze consistent point-in-time views
+// of itself. Migration pre-copy iterations, dedup ScanSource passes,
+// Fingerprint audits, and hostd pre-sync all read a Snapshot while the
+// guest keeps writing the live volume — the paper's block-level
+// transparency claim (§IV-A-4) made literal. Release flushes any cached
+// dirty state to the backing device and ends the volume's lifecycle.
+type Volume interface {
+	Device
+	// Snapshot freezes a point-in-time read-only view of the volume.
+	Snapshot() Snapshot
+	// Release flushes outstanding dirty state and releases the volume. It
+	// fails if snapshots or pinned blocks are still outstanding.
+	Release() error
+}
+
+// ErrSnapshotReadOnly is returned by WriteBlock on a Snapshot.
+var ErrSnapshotReadOnly = errors.New("blockdev: snapshot is read-only")
+
+// SnapshotOf freezes a point-in-time view of d when the device is
+// snapshot-capable and returns it along with its release function. For a
+// plain Device it returns the device itself and a no-op release: callers
+// get best-effort live reads, exactly the pre-Volume behaviour, so the
+// default engine path is unchanged byte for byte.
+func SnapshotOf(d Device) (Device, func()) {
+	if v, ok := d.(Volume); ok {
+		snap := v.Snapshot()
+		return snap, snap.Release
+	}
+	return d, func() {}
+}
+
 // Allocator is implemented by devices that know which blocks hold data.
 // The migration engine's SkipUnused option (the paper's §VII future-work
 // item: "if the Guest OS ... can tell the migration process which part is
@@ -122,12 +168,37 @@ func CheckRange(d Device, n int) error {
 	return nil
 }
 
+// scanBufs recycles the buffer pair used by whole-device scans so that
+// Fingerprint and Diff — which hostd now runs repeatedly against snapshots —
+// stop allocating a block buffer (or two) per call.
+var scanBufs = sync.Pool{New: func() any {
+	p := new([2][]byte)
+	p[0] = make([]byte, BlockSize)
+	p[1] = make([]byte, BlockSize)
+	return p
+}}
+
+// getScanBufs returns a pooled buffer pair sized for bs-byte blocks.
+func getScanBufs(bs int) *[2][]byte {
+	p := scanBufs.Get().(*[2][]byte)
+	if cap(p[0]) < bs {
+		p[0] = make([]byte, bs)
+		p[1] = make([]byte, bs)
+	}
+	p[0] = p[0][:bs]
+	p[1] = p[1][:bs]
+	return p
+}
+
 // Fingerprint hashes the full device contents. Tests use it to assert the
 // paper's consistency requirement: after migration the source and destination
-// disks are bit-identical.
+// disks are bit-identical; hostd runs it against snapshots for background
+// divergence audits.
 func Fingerprint(d Device) ([32]byte, error) {
 	h := sha256.New()
-	buf := make([]byte, d.BlockSize())
+	bufs := getScanBufs(d.BlockSize())
+	defer scanBufs.Put(bufs)
+	buf := bufs[0]
 	for n := 0; n < d.NumBlocks(); n++ {
 		if err := d.ReadBlock(n, buf); err != nil {
 			return [32]byte{}, fmt.Errorf("fingerprint block %d: %w", n, err)
@@ -141,11 +212,12 @@ func Fingerprint(d Device) ([32]byte, error) {
 
 // BlockFingerprint hashes a single block, for fine-grained divergence checks.
 func BlockFingerprint(d Device, n int) ([32]byte, error) {
-	buf := make([]byte, d.BlockSize())
-	if err := d.ReadBlock(n, buf); err != nil {
+	bufs := getScanBufs(d.BlockSize())
+	defer scanBufs.Put(bufs)
+	if err := d.ReadBlock(n, bufs[0]); err != nil {
 		return [32]byte{}, err
 	}
-	return sha256.Sum256(buf), nil
+	return sha256.Sum256(bufs[0]), nil
 }
 
 // Diff returns the block numbers at which two devices differ. It returns an
@@ -156,8 +228,9 @@ func Diff(a, b Device) ([]int, error) {
 			a.NumBlocks(), a.BlockSize(), b.NumBlocks(), b.BlockSize())
 	}
 	var diffs []int
-	ba := make([]byte, a.BlockSize())
-	bb := make([]byte, b.BlockSize())
+	bufs := getScanBufs(a.BlockSize())
+	defer scanBufs.Put(bufs)
+	ba, bb := bufs[0], bufs[1]
 	for n := 0; n < a.NumBlocks(); n++ {
 		if err := a.ReadBlock(n, ba); err != nil {
 			return nil, err
@@ -165,21 +238,9 @@ func Diff(a, b Device) ([]int, error) {
 		if err := b.ReadBlock(n, bb); err != nil {
 			return nil, err
 		}
-		if !bytesEqual(ba, bb) {
+		if !bytes.Equal(ba, bb) {
 			diffs = append(diffs, n)
 		}
 	}
 	return diffs, nil
-}
-
-func bytesEqual(a, b []byte) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }

@@ -472,7 +472,13 @@ func MigrateDeltaSource(cfg Config, host Host, conn transport.Conn, fwd *DeltaFo
 			if err := t.send(transport.Message{Type: transport.MsgIterStart, Arg: 1}, true); err != nil {
 				return err
 			}
+			// The full pass reads a frozen snapshot when the device is a
+			// Volume: every racing write is forwarded as a delta anyway,
+			// so a consistent base image plus the delta replay reproduces
+			// the live disk exactly.
+			restore := t.snapshotForReads()
 			sent, bytes, err := t.sendBlocks(bitmap.NewAllSet(dev.NumBlocks()), PhaseDeltaForward, true)
+			restore()
 			if err != nil {
 				return err
 			}

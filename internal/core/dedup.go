@@ -27,7 +27,7 @@ import (
 // literally. The path is sequential by design: the advert/want alternation
 // is a per-extent round trip, so a worker pool would just reorder waits.
 func (t *transfer) sendExtentsDedup(bm *bitmap.Bitmap, phaseName string, limited bool) (int, int64, error) {
-	dev := t.host.Backend.Device()
+	dev := t.srcDev
 	bs := dev.BlockSize()
 	zero := dedup.ZeroFingerprint(bs)
 	var buf []byte

@@ -590,7 +590,7 @@ func (s *sourceRun) postCopy(rep *metrics.Report) error {
 // replies always travel as single blocks; the background push coalesces the
 // remaining set into extents at the policy's live limit.
 func (s *sourceRun) pushBlocks(rep *metrics.Report, bm *bitmap.Bitmap) error {
-	dev := s.host.Backend.Device()
+	dev := s.srcDev
 	bs := dev.BlockSize()
 	var buf []byte
 	defer func() { transport.PutBuf(buf) }()

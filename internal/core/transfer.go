@@ -30,6 +30,7 @@ type phase struct {
 type transfer struct {
 	cfg     Config
 	host    Host
+	srcDev  blockdev.Device // source read path: live device, or a frozen snapshot of it
 	clk     clock.Clock
 	conn    transport.Conn   // engine-facing top of the decorator stack
 	meter   *transport.Meter // wire-byte accounting, closest to the raw conn
@@ -62,7 +63,7 @@ type transfer struct {
 // session slips a rebindable shim underneath so a reconnect swaps the dead
 // link without disturbing metering or negotiated compression.
 func newTransfer(cfg Config, host Host, conn transport.Conn, scheme, side string) (*transfer, error) {
-	t := &transfer{cfg: cfg, host: host, clk: cfg.Clock, pol: cfg.Policy, sess: &session{}}
+	t := &transfer{cfg: cfg, host: host, srcDev: host.Backend.Device(), clk: cfg.Clock, pol: cfg.Policy, sess: &session{}}
 	if (side == "source" && cfg.MaxRetries > 0) || (side != "source" && cfg.WaitReconnect != nil) {
 		t.swap = transport.NewSwappable(conn)
 		conn = t.swap
@@ -261,7 +262,7 @@ func (t *transfer) sendBlocks(bm *bitmap.Bitmap, phaseName string, limited bool)
 	}
 	_, fixedPolicy := t.pol.(DefaultPolicy)
 	if t.cfg.Workers <= 1 && t.cfg.MaxExtentBlocks <= 1 && t.cfg.Readahead <= 0 && fixedPolicy {
-		dev := t.host.Backend.Device()
+		dev := t.srcDev
 		buf := transport.GetBuf(dev.BlockSize())
 		defer transport.PutBuf(buf)
 		sent := 0
@@ -296,7 +297,7 @@ func (t *transfer) sendBlocks(bm *bitmap.Bitmap, phaseName string, limited bool)
 // the coalescing limit before each extent so an adaptive policy can grow it
 // mid-iteration.
 func (t *transfer) sendExtentsSeq(bm *bitmap.Bitmap, phaseName string, limited bool) (int, int64, error) {
-	dev := t.host.Backend.Device()
+	dev := t.srcDev
 	bs := dev.BlockSize()
 	var buf []byte
 	defer func() { transport.PutBuf(buf) }()
@@ -359,7 +360,7 @@ func (f *firstErr) get() error {
 // once, so the destination may apply the extents in any order; the engine's
 // control frames bound the iteration on both sides.
 func (t *transfer) sendExtentsPooled(bm *bitmap.Bitmap, phaseName string, limited bool) (int, int64, error) {
-	dev := t.host.Backend.Device()
+	dev := t.srcDev
 	bs := dev.BlockSize()
 	workers := t.cfg.Workers
 	jobs := make(chan bitmap.Extent, workers*2)
@@ -425,7 +426,7 @@ func (t *transfer) sendExtentsPooled(bm *bitmap.Bitmap, phaseName string, limite
 // — and therefore the golden wire traces — identical to the sequential
 // path.
 func (t *transfer) sendExtentsReadahead(bm *bitmap.Bitmap, phaseName string, limited bool) (int, int64, error) {
-	dev := t.host.Backend.Device()
+	dev := t.srcDev
 	bs := dev.BlockSize()
 	type job struct {
 		ext  bitmap.Extent
@@ -514,6 +515,27 @@ func (t *transfer) sendPages(bm *bitmap.Bitmap, limited bool) (int, int64, error
 	return sent, bytes, fail
 }
 
+// snapshotForReads freezes the source read path on a point-in-time view of
+// the backend device for the duration of one send pass. When the backend
+// was wired with a snapshot-capable blockdev.Volume (hostd's bcache path),
+// every block of the pass is read from the moment the pass began — guest
+// writes racing the pass land in the dirty tracker and travel next
+// iteration instead of tearing this one. For a plain device this is a
+// no-op, which keeps the default engine path byte-identical to the seed.
+// The returned restore function must be called when the pass ends.
+func (t *transfer) snapshotForReads() func() {
+	vol, ok := t.host.Backend.Volume()
+	if !ok {
+		return func() {}
+	}
+	snap := vol.Snapshot()
+	t.srcDev = snap
+	return func() {
+		t.srcDev = t.host.Backend.Device()
+		snap.Release()
+	}
+}
+
 // preCopySpec abstracts the disk/memory differences of one iterative
 // pre-copy loop: which control frames bound an iteration, how to move one
 // bitmap's worth of data, and how dirtying is observed.
@@ -598,6 +620,8 @@ func (t *transfer) diskPreCopy(rep *metrics.Report, initial *bitmap.Bitmap) erro
 		startMsg: transport.MsgIterStart, endMsg: transport.MsgIterEnd,
 		threshold: t.cfg.DiskDirtyThreshold, maxIter: t.cfg.MaxDiskIters,
 		send: func(bm *bitmap.Bitmap) (int, int64, error) {
+			restore := t.snapshotForReads()
+			defer restore()
 			return t.sendBlocks(bm, PhaseDiskPreCopy, true)
 		},
 		dirtyCount: t.host.Backend.DirtyCount,

@@ -146,10 +146,21 @@ func (ix *Index) ScanSource(name string) (int, error) {
 	if dev == nil {
 		return 0, fmt.Errorf("dedup: scan of unregistered source %q", name)
 	}
+	return ix.ScanReader(name, dev)
+}
+
+// ScanReader fingerprints every block of r and records the observations
+// under source name, like ScanSource, but reading from a caller-supplied
+// view instead of the registered device. Hosts pass a frozen snapshot of a
+// live volume here: the scan comes off the guest's hot path and observes a
+// consistent image, while lookups still verify against the registered live
+// device, so an observation the guest overwrites mid-scan simply misses
+// later (it can never resolve to wrong bytes).
+func (ix *Index) ScanReader(name string, r BlockReader) (int, error) {
 	buf := make([]byte, ix.blockSize)
 	indexed := 0
-	for n := 0; n < dev.NumBlocks(); n++ {
-		if err := dev.ReadBlock(n, buf); err != nil {
+	for n := 0; n < r.NumBlocks(); n++ {
+		if err := r.ReadBlock(n, buf); err != nil {
 			return indexed, err
 		}
 		fp := Of(buf)

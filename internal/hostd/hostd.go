@@ -23,6 +23,7 @@ import (
 
 	"bbmig/internal/blkback"
 	"bbmig/internal/blockdev"
+	"bbmig/internal/blockdev/bcache"
 	"bbmig/internal/clock"
 	"bbmig/internal/core"
 	"bbmig/internal/dedup"
@@ -33,12 +34,16 @@ import (
 )
 
 // Domain is one guest managed by a Machine: the VM, its local disk, the I/O
-// plumbing, and the divergence vault that travels with it.
+// plumbing, and the divergence vault that travels with it. The disk is a
+// blockdev.Volume — a cached, snapshot-capable view over whatever backing
+// device the domain was provisioned on (MemDisk by default, a FileDisk via
+// CreateDomainOn) — so migrations, pre-syncs, and index scans read frozen
+// point-in-time snapshots while the guest keeps writing.
 type Domain struct {
 	Name string
 
 	vmRef   *vm.VM
-	disk    *blockdev.MemDisk
+	disk    blockdev.Volume
 	backend *blkback.Backend
 	router  *core.Router
 	vault   *core.Vault
@@ -53,8 +58,8 @@ type Domain struct {
 // VM returns the guest.
 func (d *Domain) VM() *vm.VM { return d.vmRef }
 
-// Disk returns the guest's VBD.
-func (d *Domain) Disk() *blockdev.MemDisk { return d.disk }
+// Disk returns the guest's VBD as a snapshot-capable Volume.
+func (d *Domain) Disk() blockdev.Volume { return d.disk }
 
 // Vault returns the divergence vault (for inspection by tests and tools).
 func (d *Domain) Vault() *core.Vault { return d.vault }
@@ -106,16 +111,20 @@ type Machine struct {
 
 	mu        sync.Mutex
 	domains   map[string]*Domain
-	retained  map[string]*blockdev.MemDisk // disks of departed domains
+	retained  map[string]blockdev.Volume // disks of departed domains
 	migrating map[string]*core.ProgressTracker
 	nextID    int
+
+	// cacheBlocks sizes the block cache wrapped around each newly
+	// provisioned volume (0 = bcache.DefaultMaxBlocks); see SetCacheBlocks.
+	cacheBlocks int
 
 	// content-dedup state (see index.go): the machine-wide fingerprint
 	// index, which disk sources have been scanned into it, and where it is
 	// persisted. idxSaveMu serializes SaveIndex so concurrent migrations
 	// cannot interleave writes through the shared temp file.
 	idx        *dedup.Index
-	idxScanned map[string]*blockdev.MemDisk
+	idxScanned map[string]blockdev.Device
 	idxPath    string
 	idxSaveMu  sync.Mutex
 
@@ -130,10 +139,30 @@ func NewMachine(name string) *Machine {
 	return &Machine{
 		Name:      name,
 		domains:   make(map[string]*Domain),
-		retained:  make(map[string]*blockdev.MemDisk),
+		retained:  make(map[string]blockdev.Volume),
 		migrating: make(map[string]*core.ProgressTracker),
 		nextID:    1,
 	}
+}
+
+// SetCacheBlocks sizes the block cache wrapped around each volume this
+// machine provisions from now on: n blocks of cached reads and buffered
+// writes per domain disk (0 restores bcache.DefaultMaxBlocks). Volumes
+// already provisioned keep their existing cache.
+func (m *Machine) SetCacheBlocks(n int) {
+	m.mu.Lock()
+	m.cacheBlocks = n
+	m.mu.Unlock()
+}
+
+// newVolumeLocked wraps dev in this machine's block cache, making it a
+// snapshot-capable Volume; a device that already is one is used as-is.
+// Caller holds m.mu.
+func (m *Machine) newVolumeLocked(dev blockdev.Device) blockdev.Volume {
+	if v, ok := dev.(blockdev.Volume); ok {
+		return v
+	}
+	return bcache.New(dev, m.cacheBlocks)
 }
 
 // trackMigration registers a progress tracker for an in-flight migration of
@@ -197,9 +226,21 @@ func (m *Machine) Domain(name string) (*Domain, bool) {
 	return d, ok
 }
 
-// CreateDomain provisions and starts a fresh guest. With hasWorkload the
-// built-in generator of the given kind drives it continuously.
+// CreateDomain provisions and starts a fresh guest on a RAM-backed VBD.
+// With hasWorkload the built-in generator of the given kind drives it
+// continuously.
 func (m *Machine) CreateDomain(name string, blocks, pages int, kind workload.Kind, seed int64, hasWorkload bool) (*Domain, error) {
+	return m.CreateDomainOn(name, blockdev.NewMemDisk(blocks, blockdev.BlockSize), pages, kind, seed, hasWorkload)
+}
+
+// CreateDomainOn provisions and starts a fresh guest on a caller-supplied
+// backing device — a blockdev.FileDisk for a durable guest image, or any
+// other Device. Geometry is taken from the device. The device is wrapped in
+// the machine's block cache (becoming a snapshot-capable Volume) unless it
+// already is one; with a write-back cache in front, flush the volume
+// (Disk().Release or bcache.Cache.Flush) before reading the backing file
+// directly.
+func (m *Machine) CreateDomainOn(name string, dev blockdev.Device, pages int, kind workload.Kind, seed int64, hasWorkload bool) (*Domain, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, exists := m.domains[name]; exists {
@@ -207,11 +248,12 @@ func (m *Machine) CreateDomain(name string, blocks, pages int, kind workload.Kin
 	}
 	id := m.nextID
 	m.nextID++
+	vol := m.newVolumeLocked(dev)
 	d := &Domain{
 		Name:     name,
 		vmRef:    vm.New(name, id, pages, 1024),
-		disk:     blockdev.NewMemDisk(blocks, blockdev.BlockSize),
-		vault:    core.NewVault(blocks),
+		disk:     vol,
+		vault:    core.NewVault(vol.NumBlocks()),
 		workKind: kind,
 		workSeed: seed,
 		hasWork:  hasWorkload,
@@ -542,10 +584,10 @@ func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config
 	id := m.nextID
 	m.nextID++
 	// A returning domain resumes onto this machine's retained copy; a new
-	// one gets a fresh zeroed VBD.
+	// one gets a fresh zeroed VBD behind the machine's block cache.
 	disk := m.retained[ann.name]
 	if disk == nil || disk.NumBlocks() != ann.geom.NumBlocks {
-		disk = blockdev.NewMemDisk(ann.geom.NumBlocks, blockdev.BlockSize)
+		disk = m.newVolumeLocked(blockdev.NewMemDisk(ann.geom.NumBlocks, blockdev.BlockSize))
 	} else {
 		delete(m.retained, ann.name)
 	}

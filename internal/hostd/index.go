@@ -20,7 +20,7 @@ import (
 
 // diskSourceName is the stable index-source name for one domain's disk. The
 // same name follows the disk between the hosted and retained states (the
-// MemDisk object itself is what MigrateOut retains), so observations made
+// Volume object itself is what MigrateOut retains), so observations made
 // while a domain was hosted keep resolving after it departs.
 func diskSourceName(domain string) string { return "disk/" + domain }
 
@@ -36,7 +36,7 @@ func (m *Machine) ContentIndex() *dedup.Index {
 func (m *Machine) contentIndexLocked() *dedup.Index {
 	if m.idx == nil {
 		m.idx = dedup.NewIndex(blockdev.BlockSize)
-		m.idxScanned = make(map[string]*blockdev.MemDisk)
+		m.idxScanned = make(map[string]blockdev.Device)
 	}
 	return m.idx
 }
@@ -98,7 +98,7 @@ func (m *Machine) SaveIndex() error {
 func (m *Machine) prepareDedup() *dedup.Index {
 	m.mu.Lock()
 	idx := m.contentIndexLocked()
-	disks := make(map[string]*blockdev.MemDisk, len(m.domains)+len(m.retained))
+	disks := make(map[string]blockdev.Device, len(m.domains)+len(m.retained))
 	// Retained copies first, hosted domains second: when a name is somehow
 	// in both maps (a re-provisioned domain whose stale retained copy was
 	// not reusable), the live disk must win the registration.
@@ -122,7 +122,14 @@ func (m *Machine) prepareDedup() *dedup.Index {
 		scanned[src] = disk
 		m.mu.Unlock()
 		if todo {
-			_, _ = idx.ScanSource(src) // best effort: a failed scan only costs hits
+			// The fingerprint pass reads a frozen snapshot when the disk is
+			// a Volume (hosted domains always are): the scan cannot contend
+			// with — or be torn by — the guest's live writes. Lookups still
+			// verify against the registered live disk, so a block the guest
+			// overwrites mid-scan degrades to a miss, never to wrong bytes.
+			view, release := blockdev.SnapshotOf(disk)
+			_, _ = idx.ScanReader(src, view) // best effort: a failed scan only costs hits
+			release()
 		}
 	}
 	return idx

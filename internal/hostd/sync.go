@@ -142,6 +142,14 @@ func (m *Machine) SyncOut(domainName, destHost, addr string, cfg core.Config) (*
 	// write landing before it is on the disk the reads observe. Either way no
 	// write can fall between the synced set and the divergence set.
 	d.vault.MarkSynced(destHost)
+	// Freeze the read side on a snapshot taken after the mark: every block
+	// the sync ships is the disk's content at this instant, so the peer copy
+	// is a consistent image rather than a live-read race, and the guest's
+	// writes proceed against the volume without contending with the pass.
+	// A write that lands after the mark but before the snapshot is both in
+	// the snapshot and re-diverged — shipped now and again later, safe twice.
+	src, releaseSnap := blockdev.SnapshotOf(d.disk)
+	defer releaseSnap()
 	fail := func(err error) (*SyncReport, error) {
 		d.vault.DivergePeer(destHost, bm) // a torn sync re-diverges the whole attempt
 		return rep, err
@@ -189,7 +197,7 @@ func (m *Machine) SyncOut(domainName, destHost, addr string, cfg core.Config) (*
 		}
 		data := buf[:ext.Count*bs]
 		for k := 0; k < ext.Count; k++ {
-			if err := d.disk.ReadBlock(ext.Start+k, data[k*bs:(k+1)*bs]); err != nil {
+			if err := src.ReadBlock(ext.Start+k, data[k*bs:(k+1)*bs]); err != nil {
 				return fail(err)
 			}
 		}
@@ -311,7 +319,7 @@ func (m *Machine) ServeSync(l net.Listener) (*SyncReport, error) {
 	}
 	disk := m.retained[ann.name]
 	if disk == nil || disk.NumBlocks() != ann.geom.NumBlocks {
-		disk = blockdev.NewMemDisk(ann.geom.NumBlocks, blockdev.BlockSize)
+		disk = m.newVolumeLocked(blockdev.NewMemDisk(ann.geom.NumBlocks, blockdev.BlockSize))
 		m.retained[ann.name] = disk
 	}
 	m.mu.Unlock()

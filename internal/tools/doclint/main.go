@@ -4,7 +4,8 @@
 // the way the lint job does:
 //
 //	go run ./internal/tools/doclint . ./internal/cluster ./internal/core ./internal/hostd \
-//	    ./internal/transport ./internal/sim ./internal/dedup
+//	    ./internal/transport ./internal/sim ./internal/dedup \
+//	    ./internal/blockdev ./internal/blockdev/bcache
 //
 // The rules mirror the classic golint/staticcheck ST1000+ST1020..ST1022
 // presence checks (a comment on a const/var/type group covers its specs;

@@ -8,13 +8,14 @@ import (
 
 // TestTargetPackagesDocumented is the in-tree half of the CI doc gate: the
 // facade, the cluster orchestrator, the engine, the host daemon, the
-// transport, the simulator, and the dedup layer must have zero
-// undocumented exported identifiers.
+// transport, the simulator, the dedup layer, and the block layer must have
+// zero undocumented exported identifiers.
 func TestTargetPackagesDocumented(t *testing.T) {
 	root := filepath.Join("..", "..", "..")
 	for _, dir := range []string{
 		".", "internal/cluster", "internal/core", "internal/hostd",
 		"internal/transport", "internal/sim", "internal/dedup",
+		"internal/blockdev", "internal/blockdev/bcache",
 	} {
 		findings, err := LintDir(filepath.Join(root, filepath.FromSlash(dir)))
 		if err != nil {
