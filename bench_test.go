@@ -777,6 +777,90 @@ func BenchmarkMigrate_DedupOff(b *testing.B)  { benchMigrateDedup(b, "literal") 
 func BenchmarkMigrate_DedupCold(b *testing.B) { benchMigrateDedup(b, "cold") }
 func BenchmarkMigrate_DedupWarm(b *testing.B) { benchMigrateDedup(b, "warm") }
 
+// benchMigrateDelta is the WAN return trip of `bbench -exp wan` on the real
+// engine: an incremental migration back toward a host that still holds a
+// stale copy of the image, where the dwell's divergence is hot-block
+// rewrites (a head touched in place, the tail intact). mode selects the
+// arm: literal IM ("off"), delta against a cold destination ("coldsig" —
+// every extent buys a signature round trip that cannot win, the protocol's
+// overhead floor), and delta against the stale-copy holder ("warm" — the
+// rewrites travel as COPY/LITERAL patches). Wire MiB is the headline; on a
+// WAN uplink the byte collapse is the trip time.
+func benchMigrateDelta(b *testing.B, mode string) {
+	b.Helper()
+	const blocks = 16384
+	const hot = 2048       // rewritten during the dwell — 12.5%, inside the sweep's 11-35%
+	const rewriteLen = 256 // bytes touched per rewritten block
+	const frameStall = 40 * time.Microsecond
+	const upBps = 100e6   // asymmetric WAN: uplink carries the patches,
+	const downBps = 400e6 // downlink only the signature replies
+	baseline := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+	srcDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+	buf := make([]byte, blockdev.BlockSize)
+	head := make([]byte, blockdev.BlockSize)
+	for n := 0; n < blocks; n++ {
+		workload.FillBlock(buf, n, 7)
+		baseline.WriteBlock(n, buf)
+		if n < hot {
+			workload.FillBlock(head, n+blocks, 13)
+			copy(buf[:rewriteLen], head[:rewriteLen])
+		}
+		srcDisk.WriteBlock(n, buf)
+	}
+	b.SetBytes(int64(hot) * blockdev.BlockSize)
+	b.ReportAllocs()
+	var wire int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dstDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+		if mode != "coldsig" {
+			// The home host retains the pre-dwell image.
+			for n := 0; n < blocks; n++ {
+				if err := baseline.ReadBlock(n, buf); err != nil {
+					b.Fatal(err)
+				}
+				if err := dstDisk.WriteBlock(n, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		guest := vm.New("g", 1, 64, 256)
+		srcBk := blkback.NewBackend(srcDisk, 1)
+		src := core.Host{VM: guest, Backend: srcBk}
+		dst := core.Host{VM: vm.NewDestination(guest), Backend: blkback.NewBackend(dstDisk, 1)}
+		pa, pb := transport.NewPipe(256)
+		var cs transport.Conn = transport.NewWAN(pa, frameStall, upBps)
+		var cd transport.Conn = transport.NewWAN(pb, frameStall, downBps)
+		cfg := core.Config{MaxExtentBlocks: 16, Delta: mode != "off"}
+		fresh := bitmap.New(blocks)
+		fresh.SetRange(0, hot)
+		srcBk.SeedDirty(fresh)
+		initial := srcBk.SwapDirty()
+		errCh := make(chan error, 1)
+		repCh := make(chan *metrics.Report, 1)
+		go func() {
+			rep, err := core.MigrateSource(cfg, src, cs, initial)
+			repCh <- rep
+			errCh <- err
+		}()
+		if _, err := core.MigrateDest(cfg, dst, cd); err != nil {
+			b.Fatal(err)
+		}
+		rep := <-repCh
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+		wire = rep.MigratedBytes
+		cs.Close()
+		cd.Close()
+	}
+	b.ReportMetric(float64(wire)/(1<<20), "wire-MiB")
+}
+
+func BenchmarkMigrate_DeltaOff(b *testing.B)         { benchMigrateDelta(b, "off") }
+func BenchmarkMigrate_DeltaColdSig(b *testing.B)     { benchMigrateDelta(b, "coldsig") }
+func BenchmarkMigrate_DeltaWarmRewrite(b *testing.B) { benchMigrateDelta(b, "warm") }
+
 // benchMigrateSwarm is the multi-source arm of the clone-fleet evacuation:
 // same clone image, same capped source uplink as benchMigrateDedup, but the
 // destination is cold (empty index — the DedupCold case, where single-source

@@ -35,8 +35,11 @@ const headlinePrefix = "MigrateModeledLink/"
 // tolerance long before it shows up in wall-clock. The SnapshotScan rows
 // ride the same gate: the live-contended scan is allocation-free and the
 // snapshot scan allocates only CoW copies, so a leak in the cache's
-// Get/Release or snapshot overlay paths trips it immediately.
-var allocGatePrefixes = []string{"MigrateModeledLink/", "MigrateTCP/", "SnapshotScan/"}
+// Get/Release or snapshot overlay paths trips it immediately. The
+// MigrateWAN rows pin the delta path's allocation budget — signatures,
+// diffs, and patch application all run per-extent, so a per-chunk leak
+// multiplies fast.
+var allocGatePrefixes = []string{"MigrateModeledLink/", "MigrateTCP/", "MigrateWAN/", "SnapshotScan/"}
 
 // loadBenchFile reads a BENCH_*.json snapshot. Any schema in the
 // "bbmig-bench/v1" family is accepted — v1 snapshots simply carry no

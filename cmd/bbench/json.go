@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"bbmig/internal/bitmap"
 	"bbmig/internal/blkback"
 	"bbmig/internal/blockdev"
 	"bbmig/internal/blockdev/bcache"
@@ -220,6 +221,68 @@ func tcpCpBaseline(b *testing.B, blocks int) {
 	}
 }
 
+// deltaMigrate runs the WAN return trip on the real engine: an incremental
+// migration of a hot-rewritten prefix back toward a destination that still
+// holds the stale pre-dwell image, over asymmetric WAN-shaped pipes. With
+// delta off the rewrites travel as literals; with delta on they travel as
+// signature-priced COPY/LITERAL patches against the stale copies.
+func deltaMigrate(b *testing.B, blocks int, delta bool) {
+	const frameStall = 40 * time.Microsecond
+	hot := blocks / 8
+	baseline := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+	srcDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+	buf := make([]byte, blockdev.BlockSize)
+	head := make([]byte, blockdev.BlockSize)
+	for n := 0; n < blocks; n++ {
+		workload.FillBlock(buf, n, 7)
+		baseline.WriteBlock(n, buf)
+		if n < hot {
+			workload.FillBlock(head, n+blocks, 13)
+			copy(buf[:256], head[:256])
+		}
+		srcDisk.WriteBlock(n, buf)
+	}
+	b.SetBytes(int64(hot) * blockdev.BlockSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dstDisk := blockdev.NewMemDisk(blocks, blockdev.BlockSize)
+		for n := 0; n < blocks; n++ {
+			if err := baseline.ReadBlock(n, buf); err != nil {
+				b.Fatal(err)
+			}
+			if err := dstDisk.WriteBlock(n, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		guest := vm.New("g", 1, 64, 256)
+		srcBk := blkback.NewBackend(srcDisk, 1)
+		src := core.Host{VM: guest, Backend: srcBk}
+		dst := core.Host{VM: vm.NewDestination(guest), Backend: blkback.NewBackend(dstDisk, 1)}
+		pa, pb := transport.NewPipe(256)
+		cs := transport.NewWAN(pa, frameStall, 100e6)
+		cd := transport.NewWAN(pb, frameStall, 400e6)
+		cfg := core.Config{MaxExtentBlocks: 16, Delta: delta}
+		fresh := bitmap.New(blocks)
+		fresh.SetRange(0, hot)
+		srcBk.SeedDirty(fresh)
+		initial := srcBk.SwapDirty()
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := core.MigrateSource(cfg, src, cs, initial)
+			errCh <- err
+		}()
+		if _, err := core.MigrateDest(cfg, dst, cd); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+		cs.Close()
+		cd.Close()
+	}
+}
+
 // snapshotScan measures a full-device scan — the shape of the engine's
 // fingerprint and dedup passes — over a bcache volume with guest writes
 // interleaved every eight blocks. With frozen set the scan reads a CoW
@@ -312,6 +375,13 @@ func runJSON(path string, seed int64) error {
 	add("MigrateTCP/cp-baseline",
 		testing.Benchmark(func(b *testing.B) { tcpCpBaseline(b, tcpBlocks) }))
 
+	// WAN return trip: hot-rewrite divergence back toward the stale-copy
+	// holder, literal vs delta-encoded.
+	add("MigrateWAN/literal-back",
+		testing.Benchmark(func(b *testing.B) { deltaMigrate(b, blocks, false) }))
+	add("MigrateWAN/delta-back",
+		testing.Benchmark(func(b *testing.B) { deltaMigrate(b, blocks, true) }))
+
 	// Snapshot block layer: the fingerprint/dedup scan shape against a
 	// write-hammered volume, live-contended vs frozen CoW snapshot. The
 	// hit-rate row records how much of the scan the cache absorbed.
@@ -364,6 +434,22 @@ func runJSON(path string, seed int64) error {
 				"makespan_s":    swarmRows[i].Makespan.Seconds(),
 				"fleet_wire_gb": swarmRows[i].FleetWireGB,
 				"speedup":       swarmRows[i].Speedup,
+			},
+		})
+	}
+
+	wanRows, _ := sim.WANSweep(seed)
+	wanSlug := map[string]string{"literal": "literal", "dedup only": "dedup-only", "dedup + delta": "dedup-delta"}
+	for _, r := range wanRows {
+		if r.HotPct != 35 {
+			continue // snapshot the heaviest swept divergence only
+		}
+		out.Benchmarks = append(out.Benchmarks, benchResult{
+			Name: "SimWANSweep/" + wanSlug[r.Label],
+			Metrics: map[string]float64{
+				"return_wire_mb": r.ReturnWireMB,
+				"reduction":      r.Reduction,
+				"trip_s":         r.TripTime.Seconds(),
 			},
 		})
 	}

@@ -17,6 +17,7 @@
 //	bbench -exp cluster     evacuation sweep: drain makespan/downtime vs concurrency
 //	bbench -exp dedup       clone-fleet sweep: content-addressed dedup vs literal transfer
 //	bbench -exp swarm       cold-destination evacuation: multi-source swarm fetch vs single-source dedup
+//	bbench -exp wan         WAN return trip: delta-encoded hot rewrites vs dedup-only vs literal
 //	bbench -exp all         everything above
 //
 // In addition, -json FILE runs the machine-readable benchmark suite (real
@@ -46,7 +47,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|fig5|fig6|iters|locality|granularity|availability|adaptive|faults|cluster|dedup|swarm|all)")
+	exp := flag.String("exp", "all", "experiment to run (table1|table2|table3|fig5|fig6|iters|locality|granularity|availability|adaptive|faults|cluster|dedup|swarm|wan|all)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	samples := flag.Int("samples", 40, "series rows to print for figures")
 	jsonOut := flag.String("json", "", "run the machine-readable benchmark suite and write BENCH_*.json here")
@@ -89,9 +90,10 @@ func main() {
 		"cluster":              clusterSweep,
 		"dedup":                dedupSweep,
 		"swarm":                swarmSweep,
+		"wan":                  wanSweep,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "fig5", "fig6", "iters", "locality", "granularity", "downtime-granularity", "schemes", "availability", "adaptive", "faults", "cluster", "dedup", "swarm"} {
+		for _, name := range []string{"table1", "table2", "table3", "fig5", "fig6", "iters", "locality", "granularity", "downtime-granularity", "schemes", "availability", "adaptive", "faults", "cluster", "dedup", "swarm", "wan"} {
 			run[name](*seed, *samples)
 			fmt.Println()
 		}
@@ -237,6 +239,15 @@ func swarmSweep(seed int64, _ int) {
 	fmt.Println("cold destinations hold nothing to dedup against, so single-source transfer is stuck")
 	fmt.Println("behind one uplink; fanning the want-set across three warm clone-hosting peers moves")
 	fmt.Println("the template share over their links in parallel and collapses the evacuation makespan.")
+}
+
+func wanSweep(seed int64, _ int) {
+	_, tab := sim.WANSweep(seed)
+	fmt.Print(tab.String())
+	fmt.Println("the IM return trip crosses the WAN toward a host that still holds stale copies of")
+	fmt.Println("everything, so divergence is hot-block rewrites: dedup can only claim the few blocks")
+	fmt.Println("whose new content the home host happens to index, while delta encoding ships just the")
+	fmt.Println("changed chunks of every rewritten block against its stale counterpart.")
 }
 
 func availability(_ int64, _ int) {

@@ -51,6 +51,17 @@
 //
 //	bbmig -mode recv -listen :7011 -image guest.img -dedup -swarm-peers peer1:7012,peer2:7012
 //
+// Delta encoding: -delta (both ends must pass it, like -dedup; hostd
+// negotiates it automatically via its announce) replaces literal transfer
+// of blocks whose stale counterpart the destination already holds with
+// signature-priced COPY/LITERAL patches — the WAN-friendly path for
+// migrating an environment back home after a dwell, when divergence is
+// hot-block rewrites. -delta-chunk tunes the receiver-local signature
+// chunk size:
+//
+//	bbmig -mode recv -listen :7011 -image guest.img -delta
+//	bbmig -mode send -addr dst:7011 -image guest.img -delta -initial-bitmap fresh.bm
+//
 // Fault tolerance: -max-retries N makes the sender survive up to N
 // connection failures by resuming the negotiated session — the receiver
 // always offers a reconnect path — re-sending only the blocks the receiver
@@ -103,6 +114,8 @@ func main() {
 		readahead  = flag.Int("readahead", 0, "send: extents prefetched into pooled buffers ahead of the wire (0 = sequential; ignored with -workers > 1 or -dedup)")
 		dedupFlag  = flag.Bool("dedup", false, "content-addressed dedup: ship block fingerprints and references instead of known bytes (both ends must agree)")
 		swarmPeers = flag.String("swarm-peers", "", "recv: comma-separated peer swarm-serve addresses to fetch wanted blocks from (needs -dedup)")
+		deltaFlag  = flag.Bool("delta", false, "delta-encode blocks against the destination's stale copies (both ends must agree)")
+		deltaChunk = flag.Int("delta-chunk", 0, "recv: signature chunk size in bytes (0 = default 128; local, travels inside each signature)")
 		initialBM  = flag.String("initial-bitmap", "", "send: bitmap file selecting blocks for an incremental migration")
 		freshBM    = flag.String("fresh-bitmap", "", "recv: file to save the fresh-write bitmap to (enables a later IM back)")
 		retries    = flag.Int("max-retries", 0, "send: survive this many connection failures by resuming the session (0 = fail fast)")
@@ -120,6 +133,7 @@ func main() {
 	opts := xferOpts{
 		streams: *streams, extentBlocks: *extentBlk, workers: *workers,
 		readahead: *readahead, compressLevel: level, dedup: *dedupFlag,
+		delta: *deltaFlag, deltaChunk: *deltaChunk,
 		progress: *progress, maxRetries: *retries, retryBackoff: *backoff,
 		journalPath: *journal, cacheBlocks: *cacheBlk,
 	}
@@ -186,6 +200,8 @@ type xferOpts struct {
 	readahead     int
 	compressLevel int
 	dedup         bool
+	delta         bool
+	deltaChunk    int
 	swarmPeers    []string
 	progress      bool
 	maxRetries    int
@@ -203,6 +219,8 @@ func (o xferOpts) config() core.Config {
 		Readahead:       o.readahead,
 		CompressLevel:   o.compressLevel,
 		Dedup:           o.dedup,
+		Delta:           o.delta,
+		DeltaChunk:      o.deltaChunk,
 		Swarm:           len(o.swarmPeers) > 0,
 		SwarmPeers:      o.swarmPeers,
 		MaxRetries:      o.maxRetries,

@@ -150,6 +150,11 @@ func (p *BudgetPolicy) DedupExtent(phase string, blocks int) bool {
 	return p.inner().DedupExtent(phase, blocks)
 }
 
+// DeltaExtent delegates to the inner policy.
+func (p *BudgetPolicy) DeltaExtent(phase string, blocks int) bool {
+	return p.inner().DeltaExtent(phase, blocks)
+}
+
 // PrecopyRate returns min(inner verdict, live budget share). Note the
 // engine only honours live rate changes when the migration starts with a
 // finite rate (a limiter must exist to retune); a finite RateBudget

@@ -15,6 +15,7 @@ import (
 	"bbmig/internal/blkback"
 	"bbmig/internal/clock"
 	"bbmig/internal/dedup"
+	"bbmig/internal/delta"
 	"bbmig/internal/transport"
 	"bbmig/internal/vm"
 )
@@ -58,11 +59,12 @@ type ReconnectFunc func(token transport.SessionToken, lastEpoch uint32) (transpo
 
 // Config parameterizes a migration.
 //
-// Three fields are negotiated — both endpoints must agree or the handshake
+// Four fields are negotiated — both endpoints must agree or the handshake
 // fails: Streams (the striped connection count), CompressLevel (the stream
-// compression setting), and Dedup (content-addressed transfer). The hostd
-// layer negotiates all three automatically through its announce frame; raw
-// engine users (cmd/bbmig, tests) must pass matching values on both sides.
+// compression setting), Dedup (content-addressed transfer), and Delta
+// (rsync-style delta encoding). The hostd layer negotiates all four
+// automatically through its announce frame; raw engine users (cmd/bbmig,
+// tests) must pass matching values on both sides.
 // Swarm is a fourth announced capability, but a soft one: it permits the
 // destination to open sidecar peer sessions without changing a single byte
 // of the migration channel, so a mismatch degrades to single-source dedup
@@ -190,6 +192,38 @@ type Config struct {
 	// selects the TCP dialer. Tests inject in-process pipes here.
 	SwarmDial SwarmDialFunc
 
+	// Delta, when true, enables rsync-style delta encoding for disk
+	// pre-copy traffic — the WAN path for content that diverged but stayed
+	// similar, which exact-match dedup cannot exploit. Per extent the
+	// source requests a chunk signature of the destination's current
+	// content (MsgDeltaSig), diffs the new content against it, and ships a
+	// COPY/LITERAL op stream (MsgDeltaPatch) when — and only when — the
+	// patch is smaller than the literal. The destination applies each patch
+	// against its own content and verifies the patch's embedded strong hash
+	// before any byte lands; a mismatch is refused back to the source,
+	// which re-sends the extent literally before the pass ends — degraded,
+	// never wrong. Like Dedup this is negotiated: both endpoints must agree
+	// or the destination rejects the unexpected frames; hostd carries it in
+	// the announce and an unconfigured receiver adopts the sender's choice.
+	// The Policy's DeltaExtent verdict gates the round trip per extent.
+	// With Dedup also negotiated, delta replaces the literal sends for the
+	// blocks the destination's want-bitmap asked for, composing the two:
+	// exact matches travel as 16-byte references, near matches as patches.
+	// The delta send path is sequential (each extent is a round trip), and
+	// memory pages, freeze-and-copy, and post-copy pushes always travel
+	// literally. False (the default) keeps the seed wire format byte for
+	// byte.
+	Delta bool
+
+	// DeltaChunk is the signature chunk size in bytes used by the
+	// destination when answering signature requests (ignored on the
+	// source — the chunk size travels inside every signature and patch, so
+	// the endpoints need not agree on it). Zero selects delta.DefaultChunk
+	// (128: a 4 KiB block signs in 392 bytes); out-of-range values are
+	// clamped to [delta.MinChunk, delta.MaxChunk]. Smaller chunks find
+	// finer-grained reuse at the cost of larger signatures.
+	DeltaChunk int
+
 	// Policy owns the transfer decisions the engine otherwise freezes in
 	// constants: pre-copy stop conditions, the live extent coalescing limit,
 	// per-payload compression verdicts, and pre-copy pacing. Nil selects
@@ -309,6 +343,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CompressLevel > 9 {
 		c.CompressLevel = 9
+	}
+	if c.DeltaChunk <= 0 {
+		c.DeltaChunk = delta.DefaultChunk
+	}
+	if c.DeltaChunk < delta.MinChunk {
+		c.DeltaChunk = delta.MinChunk
+	}
+	if c.DeltaChunk > delta.MaxChunk {
+		c.DeltaChunk = delta.MaxChunk
 	}
 	if c.Policy == nil {
 		c.Policy = DefaultPolicy{}

@@ -39,7 +39,10 @@ func (t *transfer) sendExtentsDedup(bm *bitmap.Bitmap, phaseName string, limited
 		maxExt := t.extentBlocks(phaseName)
 		ext := bm.NextExtent(pos, maxExt)
 		if ext.Count == 0 {
-			return sent, bytes, nil
+			// With Delta also negotiated, the wanted sub-runs below may have
+			// travelled as patches; the fence bounds them (no-op otherwise).
+			fenceWire, err := t.deltaFence(limited)
+			return sent, bytes + fenceWire, err
 		}
 		if need := ext.Count * bs; cap(buf) < need {
 			transport.PutBuf(buf)
@@ -108,12 +111,19 @@ func (t *transfer) sendDedupExtent(ext bitmap.Extent, data []byte, fps []dedup.F
 		return wire, fmt.Errorf("core: want bitmap %d bytes for %d-block advert", len(want), ext.Count)
 	}
 	// Walk the want bitmap as maximal same-verdict runs: wanted runs travel
-	// as literals (single blocks keep the seed's MsgBlockData form),
-	// unwanted runs as fingerprint references.
+	// as literals (single blocks keep the seed's MsgBlockData form) — or
+	// through the delta protocol when that is also negotiated, since a
+	// wanted run is exactly the content exact-match dedup could not save —
+	// and unwanted runs as fingerprint references.
 	err = dedup.WalkWant(ext.Count, want, func(off, n int, wanted bool) error {
 		sub := bitmap.Extent{Start: ext.Start + off, Count: n}
 		var m transport.Message
 		if wanted {
+			if t.cfg.Delta && t.awaitDeltaSig != nil {
+				w, err := t.sendDeltaExtent(sub, data[off*bs:(off+n)*bs], phaseName, limited)
+				wire += w
+				return err
+			}
 			m = extentMessage(sub, data[off*bs:(off+n)*bs])
 		} else {
 			m = transport.Message{

@@ -52,6 +52,7 @@ type destRun struct {
 
 	sc          *scatterPool
 	dd          *destDedup     // content-dedup session (nil unless negotiated)
+	deltaBlocks int            // blocks landed as delta patches (Report.DeltaBlocks)
 	transferred *bitmap.Bitmap // the freeze bitmap, set during pre-copy receive
 	postStart   time.Duration
 
@@ -135,6 +136,7 @@ func (d *destRun) run() (*DestResult, error) {
 		rep.DedupBlocks = d.dd.refs
 		rep.SwarmBlocks = d.dd.swarmBlocks
 	}
+	rep.DeltaBlocks = d.deltaBlocks
 	gs := res.Gate.Stats()
 	rep.PostCopyTime = d.clk.Now() - d.postStart
 	rep.TotalTime = d.clk.Now() - d.start
@@ -272,6 +274,13 @@ func (d *destRun) preCopyReceive() error {
 		// write to its backing block.
 		handlers[transport.MsgHashAdvert] = d.drainOn(d.handleAdvert)
 		handlers[transport.MsgBlockRef] = d.drainOn(d.applyBlockRef)
+	}
+	if d.cfg.Delta {
+		// Delta frames drain too: a signature must summarize content with
+		// every queued literal already on the device, and a patch applies
+		// against (then overwrites) blocks a queued write may still own.
+		handlers[transport.MsgDeltaSig] = d.drainOn(d.handleDeltaSig)
+		handlers[transport.MsgDeltaPatch] = d.drainOn(d.handleDeltaPatch)
 	}
 	err := d.recvLoop(transport.MsgResume, handlers)
 	if err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"bbmig/internal/bitmap"
@@ -78,6 +79,14 @@ type sourceRun struct {
 	doneCh     chan error
 	readerDone chan struct{}
 	wantCh     chan transport.Message // MsgHashWant replies (dedup sessions only)
+	sigCh      chan transport.Message // MsgDeltaSig replies (delta sessions only)
+
+	// Delta refusals (MsgDeltaPatch echoes) collected by the read loop.
+	// A slice under a mutex, not a bounded channel: a dropped refusal would
+	// leave the destination holding stale content for blocks the source
+	// considers sent, so every one must survive until the fence drains it.
+	deltaMu   sync.Mutex
+	deltaNaks []uint64
 
 	// freeze-and-copy state carried between phases (and across reconnects)
 	freezeStart time.Duration
@@ -136,6 +145,7 @@ func (s *sourceRun) run(initial *bitmap.Bitmap) (*metrics.Report, error) {
 	rep.TotalTime = s.clk.Now() - s.start
 	rep.MigratedBytes = s.meter.BytesSent() + s.meter.BytesReceived()
 	rep.DedupBlocks = s.dedupBlocks
+	rep.DeltaBlocks = s.deltaBlocks
 
 	// Finite dependency achieved: the source copy can be shut down.
 	s.host.VM.Stop()
@@ -216,6 +226,11 @@ func (s *sourceRun) startup() error {
 		s.wantCh = make(chan transport.Message, 8)
 		s.awaitWant = s.waitWant
 	}
+	if s.cfg.Delta {
+		s.sigCh = make(chan transport.Message, 8)
+		s.awaitDeltaSig = s.waitDeltaSig
+		s.takeDeltaNaks = s.takeNaks
+	}
 	s.startReader()
 	return nil
 }
@@ -240,6 +255,37 @@ func (s *sourceRun) waitWant(arg uint64) ([]byte, error) {
 			return nil, err
 		}
 	}
+}
+
+// waitDeltaSig blocks until the destination's reply to the outstanding
+// signature request (or fence) arrives; the same stale-epoch discipline as
+// waitWant applies. Note a fence echo's Arg is deltaFenceArg (0), which a
+// real signature reply can never carry.
+func (s *sourceRun) waitDeltaSig(arg uint64) ([]byte, error) {
+	for {
+		select {
+		case m := <-s.sigCh:
+			if m.Arg != arg {
+				m.Release() // stale epoch's reply, fully superseded
+				continue
+			}
+			return m.Payload, nil
+		case err := <-s.doneCh:
+			if err == nil {
+				err = fmt.Errorf("core: destination completed while a delta request was outstanding")
+			}
+			return nil, err
+		}
+	}
+}
+
+// takeNaks returns and clears the refusals collected since the last fence.
+func (s *sourceRun) takeNaks() []uint64 {
+	s.deltaMu.Lock()
+	naks := s.deltaNaks
+	s.deltaNaks = nil
+	s.deltaMu.Unlock()
+	return naks
 }
 
 func (s *sourceRun) startReader() {
@@ -319,6 +365,21 @@ func (s *sourceRun) reconnect(attempt int) error {
 		}
 		break
 	}
+	// Same for delta signature replies; refusals from the dead epoch are
+	// dropped too — their extents were never confirmed received, so the
+	// owed-set reconciliation below re-sends them anyway.
+	for s.sigCh != nil {
+		select {
+		case <-s.sigCh:
+			continue
+		default:
+		}
+		break
+	}
+	s.deltaMu.Lock()
+	s.deltaNaks = nil
+	s.deltaMu.Unlock()
+	s.deltaPending = 0
 
 	s.clk.Sleep(s.backoffFor(attempt))
 	conn, err := s.cfg.Redial()
@@ -674,6 +735,38 @@ func (s *sourceRun) readLoop(done chan struct{}) {
 				}
 				break
 			}
+		case transport.MsgDeltaSig:
+			if s.sigCh == nil {
+				s.doneCh <- fmt.Errorf("core: DELTA_SIG on a session without delta")
+				return
+			}
+			// Same drop-oldest discipline as MsgHashWant: at most one
+			// signature request (or fence) is ever outstanding.
+			for {
+				select {
+				case s.sigCh <- m:
+				default:
+					select {
+					case stale := <-s.sigCh:
+						stale.Release()
+					default:
+					}
+					continue
+				}
+				break
+			}
+		case transport.MsgDeltaPatch:
+			// A refusal: the destination could not verify a patch and wants
+			// the extent literally. Collected — never dropped — until the
+			// pass's fence re-sends the content.
+			if s.sigCh == nil {
+				s.doneCh <- fmt.Errorf("core: DELTA_PATCH refusal on a session without delta")
+				return
+			}
+			s.deltaMu.Lock()
+			s.deltaNaks = append(s.deltaNaks, m.Arg)
+			s.deltaMu.Unlock()
+			m.Release()
 		case transport.MsgResumed:
 			// Non-blocking: a retried RESUMED after a reconnect may duplicate
 			// one already latched.

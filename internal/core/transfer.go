@@ -55,6 +55,17 @@ type transfer struct {
 	// paths. dedupBlocks counts blocks this source moved by reference.
 	awaitWant   func(arg uint64) ([]byte, error)
 	dedupBlocks int
+
+	// delta state (Config.Delta). awaitDeltaSig is the source's
+	// signature-reply hook, wired by sourceRun.startup (the endpoint read
+	// loop routes MsgDeltaSig replies into it); nil selects the literal
+	// send paths. takeDeltaNaks drains the refusals collected since the
+	// last fence. deltaBlocks counts blocks this source moved as patches;
+	// deltaPending counts patches sent since the last fence.
+	awaitDeltaSig func(arg uint64) ([]byte, error)
+	takeDeltaNaks func() []uint64
+	deltaBlocks   int
+	deltaPending  int
 }
 
 // newTransfer decorates conn and assembles the substrate. cfg must already
@@ -257,8 +268,15 @@ func (t *transfer) sendBlocks(bm *bitmap.Bitmap, phaseName string, limited bool)
 	if t.cfg.Dedup && t.awaitWant != nil {
 		// Negotiated content dedup replaces the literal paths for disk
 		// sends; the advert/want alternation is inherently sequential, so
-		// Workers does not apply here.
+		// Workers does not apply here. When Delta is also negotiated the
+		// wanted (would-be literal) sub-runs route through the delta
+		// protocol inside sendDedupExtent.
 		return t.sendExtentsDedup(bm, phaseName, limited)
+	}
+	if t.cfg.Delta && t.awaitDeltaSig != nil {
+		// Negotiated delta encoding without dedup: every extent takes the
+		// signature round trip, equally sequential.
+		return t.sendExtentsDelta(bm, phaseName, limited)
 	}
 	_, fixedPolicy := t.pol.(DefaultPolicy)
 	if t.cfg.Workers <= 1 && t.cfg.MaxExtentBlocks <= 1 && t.cfg.Readahead <= 0 && fixedPolicy {

@@ -1,0 +1,154 @@
+package delta
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip asserts the codec's defining property for one (old, new) pair:
+// Apply(old, Diff(Sig(old), new)) == new, byte for byte.
+func roundTrip(t *testing.T, old, target []byte, chunk int) []byte {
+	t.Helper()
+	sig := Sig(old, chunk)
+	parsed, err := ParseSignature(sig.Marshal())
+	if err != nil {
+		t.Fatalf("ParseSignature(Marshal()): %v", err)
+	}
+	patch := Diff(parsed, target)
+	got, err := Apply(old, patch)
+	if err != nil {
+		t.Fatalf("Apply: %v (old %d bytes, target %d bytes, chunk %d)", err, len(old), len(target), chunk)
+	}
+	if !bytes.Equal(got, target) {
+		t.Fatalf("Apply rebuilt %d bytes != target %d bytes", len(got), len(target))
+	}
+	return patch
+}
+
+// TestApplyDiffIdentity is the property test: for random (old, new) block
+// pairs — plus the degenerate identical, disjoint, and all-zero cases — the
+// reconstruction is byte-for-byte exact. Run under -race in CI.
+func TestApplyDiffIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randBytes := func(n int) []byte {
+		b := make([]byte, n)
+		rng.Read(b)
+		return b
+	}
+	chunks := []int{MinChunk, DefaultChunk, 512}
+	lengths := []int{0, 1, 15, 16, 127, 128, 129, 4096, 4097, 12288}
+	for _, chunk := range chunks {
+		for _, n := range lengths {
+			old := randBytes(n)
+			// identical
+			roundTrip(t, old, append([]byte(nil), old...), chunk)
+			// disjoint random content
+			roundTrip(t, old, randBytes(n), chunk)
+			// all-zero on both sides
+			roundTrip(t, make([]byte, n), make([]byte, n), chunk)
+			// zero old, random new and vice versa
+			roundTrip(t, make([]byte, n), randBytes(n), chunk)
+			roundTrip(t, old, make([]byte, n), chunk)
+			// different lengths
+			roundTrip(t, old, randBytes(n/2), chunk)
+			roundTrip(t, old, randBytes(n*2+7), chunk)
+		}
+	}
+	// Fully random pairs at random lengths.
+	for i := 0; i < 200; i++ {
+		old := randBytes(rng.Intn(8192))
+		target := randBytes(rng.Intn(8192))
+		roundTrip(t, old, target, MinChunk+rng.Intn(512))
+	}
+	// Hot-rewrite shape: target is old with a few chunks overwritten.
+	for i := 0; i < 50; i++ {
+		old := randBytes(4096)
+		target := append([]byte(nil), old...)
+		for k := 0; k < 4; k++ {
+			off := rng.Intn(len(target) - 64)
+			rng.Read(target[off : off+64])
+		}
+		roundTrip(t, old, target, DefaultChunk)
+	}
+}
+
+// TestPatchShrinksOnRewrite pins the codec's reason to exist: a hot-block
+// rewrite (a few rows of a 4 KiB block changed) patches in a small fraction
+// of the literal bytes, while an identical block patches in a few dozen.
+func TestPatchShrinksOnRewrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	old := make([]byte, 4096)
+	rng.Read(old)
+
+	identical := roundTrip(t, old, append([]byte(nil), old...), DefaultChunk)
+	if len(identical) > 64 {
+		t.Errorf("identical content patched in %d bytes, want <= 64", len(identical))
+	}
+
+	target := append([]byte(nil), old...)
+	rng.Read(target[512:768]) // one hot 256-byte rewrite
+	patch := roundTrip(t, old, target, DefaultChunk)
+	if len(patch) > len(target)/4 {
+		t.Errorf("hot rewrite patched in %d bytes, want <= %d", len(patch), len(target)/4)
+	}
+}
+
+// TestSignatureStrictness pins the parse-layer validation: truncation,
+// padding, and out-of-range headers are all errors.
+func TestSignatureStrictness(t *testing.T) {
+	sig := Sig(bytes.Repeat([]byte{0xAB}, 4096), DefaultChunk).Marshal()
+	if _, err := ParseSignature(sig); err != nil {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+	if _, err := ParseSignature(sig[:len(sig)-1]); err == nil {
+		t.Error("truncated signature accepted")
+	}
+	if _, err := ParseSignature(append(append([]byte(nil), sig...), 0)); err == nil {
+		t.Error("padded signature accepted")
+	}
+	if _, err := ParseSignature(nil); err == nil {
+		t.Error("empty signature accepted")
+	}
+	bad := append([]byte(nil), sig...)
+	bad[0] = 1 // chunk size 1 < MinChunk
+	bad[1], bad[2], bad[3] = 0, 0, 0
+	if _, err := ParseSignature(bad); err == nil {
+		t.Error("undersized chunk accepted")
+	}
+}
+
+// TestApplyVerification pins verify-on-apply: a tampered patch or mismatched
+// old content yields an error, never silently wrong bytes.
+func TestApplyVerification(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	old := make([]byte, 4096)
+	rng.Read(old)
+	target := append([]byte(nil), old...)
+	rng.Read(target[:256])
+	patch := Diff(Sig(old, DefaultChunk), target)
+
+	// Flip one bit of the embedded verify hash.
+	bad := append([]byte(nil), patch...)
+	bad[len(bad)-1] ^= 1
+	if _, err := Apply(old, bad); err == nil {
+		t.Error("tampered verify hash accepted")
+	}
+	// Apply against content the signature never described: COPY ops resolve
+	// to different bytes, so the verify hash must reject the result.
+	other := make([]byte, 4096)
+	rng.Read(other)
+	if _, err := Apply(other, patch); err == nil {
+		t.Error("patch applied against mismatched old content")
+	}
+	// Sanity: the untampered patch still applies.
+	got, err := Apply(old, patch)
+	if err != nil || !bytes.Equal(got, target) {
+		t.Fatalf("control apply failed: %v", err)
+	}
+	sum := sha256.Sum256(got)
+	if !bytes.Equal(patch[len(patch)-16:], sum[:16]) {
+		t.Error("patch trailer is not the truncated SHA-256 of the target")
+	}
+}

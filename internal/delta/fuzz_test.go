@@ -1,0 +1,54 @@
+package delta
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+)
+
+// FuzzDeltaSig feeds arbitrary bytes to the signature parser: it must never
+// panic or over-read, and anything it accepts must re-marshal to exactly the
+// input (the format admits no redundant encodings).
+func FuzzDeltaSig(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(Sig(nil, DefaultChunk).Marshal())
+	f.Add(Sig(bytes.Repeat([]byte{7}, 4096), DefaultChunk).Marshal())
+	f.Add(Sig(bytes.Repeat([]byte{0}, 300), MinChunk).Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sig, err := ParseSignature(data)
+		if err != nil {
+			return
+		}
+		if got := sig.Marshal(); !bytes.Equal(got, data) {
+			t.Fatalf("accepted signature re-marshals differently: %d bytes vs %d", len(got), len(data))
+		}
+	})
+}
+
+// FuzzDeltaPatch feeds arbitrary (old, patch) pairs to Apply: it must never
+// panic, over-read, or return bytes that fail the patch's own embedded
+// strong hash — the "never unverified bytes" guarantee the destination's
+// verify-on-apply path relies on.
+func FuzzDeltaPatch(f *testing.F) {
+	old := bytes.Repeat([]byte{0xA5, 0x5A, 3, 4}, 1024)
+	target := append([]byte(nil), old...)
+	copy(target[256:], bytes.Repeat([]byte{9}, 512))
+	f.Add([]byte(nil), []byte(nil))
+	f.Add(old, Diff(Sig(old, DefaultChunk), target))
+	f.Add(old, Diff(Sig(old, MinChunk), old))
+	f.Add([]byte{}, Diff(Sig(nil, DefaultChunk), target))
+	f.Fuzz(func(t *testing.T, oldIn, patch []byte) {
+		out, err := Apply(oldIn, patch)
+		if err != nil {
+			return
+		}
+		// Whatever Apply accepted must verify against the patch trailer.
+		if len(patch) < verifySize {
+			t.Fatalf("Apply accepted a %d-byte patch below the verify trailer", len(patch))
+		}
+		sum := sha256.Sum256(out)
+		if !bytes.Equal(sum[:verifySize], patch[len(patch)-verifySize:]) {
+			t.Fatalf("Apply returned bytes that fail the embedded strong hash")
+		}
+	})
+}

@@ -297,10 +297,11 @@ type announce struct {
 	resume   bool
 	dedup    bool
 	swarm    bool
+	delta    bool
 }
 
 // announceHeaderLen is the fixed prefix before the variable-length fields.
-const announceHeaderLen = 11
+const announceHeaderLen = 12
 
 func (a announce) marshal() ([]byte, error) {
 	gb, err := a.geom.MarshalBinary()
@@ -325,6 +326,9 @@ func (a announce) marshal() ([]byte, error) {
 	if a.swarm {
 		out[10] = 1 // capability byte: destination may open sidecar swarm sessions
 	}
+	if a.delta {
+		out[11] = 1 // capability byte: delta sig/patch frames will flow
+	}
 	out = append(out, a.name...)
 	out = append(out, a.srcHost...)
 	out = append(out, gb...)
@@ -348,6 +352,7 @@ func unmarshalAnnounce(data []byte) (announce, error) {
 	a.resume = data[8] == 1
 	a.dedup = data[9] == 1
 	a.swarm = data[10] == 1
+	a.delta = data[11] == 1
 	const geomLen = 32
 	if len(data) != announceHeaderLen+nameLen+srcLen+geomLen {
 		return a, fmt.Errorf("hostd: announce length %d inconsistent", len(data))
@@ -396,6 +401,7 @@ func (m *Machine) MigrateOut(domainName, destHost, addr string, cfg core.Config)
 		resume:   cfg.MaxRetries > 0,
 		dedup:    cfg.Dedup,
 		swarm:    cfg.Dedup && cfg.Swarm,
+		delta:    cfg.Delta,
 	}
 	ab, err := ann.marshal()
 	if err != nil {
@@ -532,6 +538,11 @@ func (m *Machine) receive(connp *transport.Conn, l net.Listener, cfg core.Config
 		cfg.DedupIndex = m.prepareDedup()
 		cfg.DedupName = diskSourceName(ann.name)
 	}
+	// Delta is likewise sender-declared and receiver-adopted: the receiver
+	// only ever answers signature requests from its own disk content, so
+	// there is nothing to refuse (its DeltaChunk stays a local knob — the
+	// chunk size travels inside every signature and patch).
+	cfg.Delta = ann.delta
 	// Swarm is announced permission, not obligation: the sender allows
 	// sidecar fetches, and this receiver engages them only when it actually
 	// has peer addresses — from the caller's config (the cluster passes its

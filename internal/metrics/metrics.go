@@ -46,6 +46,7 @@ type Report struct {
 
 	DedupBlocks int // disk blocks materialized by reference (or zero-elided) instead of retransmitted
 	SwarmBlocks int // disk blocks whose content arrived from swarm peers instead of the source
+	DeltaBlocks int // disk blocks that travelled as COPY/LITERAL patches instead of literals
 
 	BlocksPushed  int           // post-copy blocks pushed by the source
 	BlocksPulled  int           // post-copy blocks pulled on demand
@@ -105,6 +106,9 @@ func (r *Report) String() string {
 	}
 	if r.SwarmBlocks > 0 {
 		fmt.Fprintf(&b, "  swarm                : %d blocks fetched from peers\n", r.SwarmBlocks)
+	}
+	if r.DeltaBlocks > 0 {
+		fmt.Fprintf(&b, "  delta                : %d blocks as patches\n", r.DeltaBlocks)
 	}
 	return b.String()
 }

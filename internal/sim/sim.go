@@ -88,6 +88,22 @@ type Params struct {
 	// retained peer copies and clone-sibling disks. Ignored unless Dedup.
 	DedupShare float64
 
+	// Delta models negotiated delta encoding (core.Config.Delta) on the
+	// first disk pre-copy iteration — the one whose blocks have stale
+	// counterparts on the destination, an IM return trip's hot rewrites.
+	// Every block dedup could not reference pays the signature round trip
+	// (deltaSigPerBlock) and ships only its changed chunk fraction
+	// (1 − DeltaMatchShare) as patch payload; when that is no cheaper than
+	// the literal the model applies the engine's patch-vs-literal fallback,
+	// literal plus the sunk signature cost. Later iterations are modelled
+	// literal, as in the engine.
+	Delta bool
+	// DeltaMatchShare is the mean fraction of a diverged block's chunks the
+	// destination's stale copy still matches — high for hot-block rewrites
+	// (a head touched, the tail intact), zero for wholesale replacement or
+	// a cold destination. Ignored unless Delta.
+	DeltaMatchShare float64
+
 	// Swarm models multi-source fetch (core.Config.Swarm) on top of Dedup:
 	// during iteration 1 an extra SwarmShare fraction of the content —
 	// blocks the destination does not hold but peer machines do — arrives
@@ -300,22 +316,41 @@ func run(p Params, initial *bitmap.Bitmap, cur *cursor, start time.Duration) *Re
 		iterStart := s.now
 		sentBlocks := toSend.Count()
 		iterBytes := int64(sentBlocks) * blockdev.BlockSize
-		if p.Dedup && iter == 1 {
+		if (p.Dedup || p.Delta) && iter == 1 {
 			// Content-addressed iteration 1: every block pays the advert,
-			// the present share travels as references, the rest literally.
-			share := clamp01(p.DedupShare)
-			swarmShare := 0.0
-			if p.Swarm && p.SwarmBytesPerSec > 0 {
-				swarmShare = clamp01(p.SwarmShare)
-				if share+swarmShare > 1 {
-					swarmShare = 1 - share
+			// the present share travels as references, the rest literally —
+			// or, with Delta negotiated, as signature-priced patches.
+			share, swarmShare := 0.0, 0.0
+			if p.Dedup {
+				share = clamp01(p.DedupShare)
+				if p.Swarm && p.SwarmBytesPerSec > 0 {
+					swarmShare = clamp01(p.SwarmShare)
+					if share+swarmShare > 1 {
+						swarmShare = 1 - share
+					}
 				}
 			}
 			refsSwarm := int(float64(sentBlocks) * swarmShare)
 			refs := int(float64(sentBlocks)*share) + refsSwarm
 			lits := sentBlocks - refs
-			wire := float64(lits)*s.perBlockWire() +
-				float64(sentBlocks)*dedupAdvertPerBlock + float64(refs)*dedupRefPerBlock
+			litWire := float64(lits) * s.perBlockWire()
+			if p.Delta && lits > 0 {
+				match := clamp01(p.DeltaMatchShare)
+				perPatch := deltaSigPerBlock + deltaPatchPerBlockOverhead +
+					(1-match)*blockdev.BlockSize
+				if lit := s.perBlockWire(); perPatch >= lit+deltaSigPerBlock {
+					// Patch no smaller than the literal: the engine falls
+					// back, with the signature round trip already sunk.
+					perPatch = lit + deltaSigPerBlock
+				} else {
+					s.rep.DeltaBlocks += lits
+				}
+				litWire = float64(lits) * perPatch
+			}
+			wire := litWire + float64(refs)*dedupRefPerBlock
+			if p.Dedup {
+				wire += float64(sentBlocks) * dedupAdvertPerBlock
+			}
 			if refsSwarm > 0 {
 				// Swarm-produced blocks cross the peers' sidecar links in
 				// parallel with the source stream; the iteration ends when
@@ -616,6 +651,17 @@ const inflightWindow = 256 << 10
 const (
 	dedupAdvertPerBlock = 17.0
 	dedupRefPerBlock    = 16.0
+)
+
+// Delta wire-cost constants, mirroring WIRE.md §12 for a 4096-byte block
+// at the default 128-byte chunk: the signature round trip is the 13-byte
+// request frame plus the reply — 8-byte signature header, 32 records of
+// 12 bytes, 13-byte frame — and a patch's fixed cost is its 8-byte header,
+// 16-byte verify trailer, a few merged COPY/LITERAL op headers, and the
+// 13-byte frame. The changed-chunk payload comes on top of the overhead.
+const (
+	deltaSigPerBlock           = 418.0
+	deltaPatchPerBlockOverhead = 61.0
 )
 
 // swarmPerBlockWire is the sidecar cost of one swarm-fetched block: the

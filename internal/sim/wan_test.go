@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"bbmig/internal/workload"
+)
+
+// findRow picks the (hotPct, label) row out of a WANSweep result.
+func findRow(t *testing.T, rows []WANSweepRow, hotPct int, label string) WANSweepRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.HotPct == hotPct && r.Label == label {
+			return r
+		}
+	}
+	t.Fatalf("no row for %d%% / %q", hotPct, label)
+	return WANSweepRow{}
+}
+
+// TestWANSweepDeltaBar pins the ISSUE acceptance: across the whole
+// 11-35% hot-rewrite sweep, the dedup+delta arm ships at least 3x fewer
+// return-trip wire bytes than dedup alone, and at least 3x fewer than
+// literal transfer.
+func TestWANSweepDeltaBar(t *testing.T) {
+	rows, table := WANSweep(7)
+	if len(rows) != 3*len(wanHotShares) {
+		t.Fatalf("expected %d rows, got %d", 3*len(wanHotShares), len(rows))
+	}
+	for _, hot := range wanHotShares {
+		lit := findRow(t, rows, hot, "literal")
+		ded := findRow(t, rows, hot, "dedup only")
+		del := findRow(t, rows, hot, "dedup + delta")
+		if del.ReturnWireMB*3 > ded.ReturnWireMB {
+			t.Errorf("%d%%: delta arm %0.f MB not 3x under dedup-only %0.f MB",
+				hot, del.ReturnWireMB, ded.ReturnWireMB)
+		}
+		if del.ReturnWireMB*3 > lit.ReturnWireMB {
+			t.Errorf("%d%%: delta arm %0.f MB not 3x under literal %0.f MB",
+				hot, del.ReturnWireMB, lit.ReturnWireMB)
+		}
+		if del.DeltaBlocks == 0 {
+			t.Errorf("%d%%: delta arm patched no blocks", hot)
+		}
+		if lit.DeltaBlocks != 0 || ded.DeltaBlocks != 0 {
+			t.Errorf("%d%%: non-delta arms report patched blocks", hot)
+		}
+		// The trip home must also get faster, not just thinner.
+		if del.TripTime >= ded.TripTime {
+			t.Errorf("%d%%: delta trip %v not faster than dedup-only %v",
+				hot, del.TripTime, ded.TripTime)
+		}
+	}
+	if len(table.Rows) != len(rows) {
+		t.Fatalf("table rows %d != sweep rows %d", len(table.Rows), len(rows))
+	}
+}
+
+// TestWANSweepMonotone checks the sweep behaves like a model should:
+// more rewrites cost more wire in every arm, and the reduction stays
+// roughly stable because the per-block win is share-independent.
+func TestWANSweepMonotone(t *testing.T) {
+	rows, _ := WANSweep(7)
+	for _, label := range []string{"literal", "dedup only", "dedup + delta"} {
+		prev := 0.0
+		for _, hot := range wanHotShares {
+			r := findRow(t, rows, hot, label)
+			if r.ReturnWireMB <= prev {
+				t.Errorf("%s: wire not increasing at %d%% (%.0f <= %.0f MB)",
+					label, hot, r.ReturnWireMB, prev)
+			}
+			prev = r.ReturnWireMB
+		}
+	}
+}
+
+// TestSimDeltaColdFallback: delta against a destination that matches no
+// chunks (DeltaMatchShare 0) must fall back to literal-plus-signature —
+// strictly worse than plain literal, never silently cheaper.
+func TestSimDeltaColdFallback(t *testing.T) {
+	p := Defaults(workload.Web)
+	p.DiskMB = 512
+	p.MemMB = 64
+	p.Seed = 3
+	p.DwellAfter = time.Minute
+
+	lit := RunTPM(p)
+	p.Delta = true
+	p.DeltaMatchShare = 0
+	cold := RunTPM(p)
+	if cold.Report.DeltaBlocks != 0 {
+		t.Fatalf("cold delta run claims %d patched blocks", cold.Report.DeltaBlocks)
+	}
+	if cold.Report.MigratedBytes <= lit.Report.MigratedBytes {
+		t.Fatalf("cold delta run (%d B) should pay signature overhead over literal (%d B)",
+			cold.Report.MigratedBytes, lit.Report.MigratedBytes)
+	}
+}

@@ -15,7 +15,7 @@ func TestTargetPackagesDocumented(t *testing.T) {
 	for _, dir := range []string{
 		".", "internal/cluster", "internal/core", "internal/hostd",
 		"internal/transport", "internal/sim", "internal/dedup",
-		"internal/blockdev", "internal/blockdev/bcache",
+		"internal/delta", "internal/blockdev", "internal/blockdev/bcache",
 	} {
 		findings, err := LintDir(filepath.Join(root, filepath.FromSlash(dir)))
 		if err != nil {

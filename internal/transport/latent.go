@@ -25,6 +25,7 @@ import (
 type Latent struct {
 	inner Conn
 	stall time.Duration
+	bps   int64 // serialization rate in bytes/second (0 = infinite, LAN model)
 
 	mu       sync.Mutex
 	nextFree time.Time // when the link has drained all queued frames
@@ -39,14 +40,29 @@ func NewLatent(inner Conn, stall time.Duration) *Latent {
 	return &Latent{inner: inner, stall: stall}
 }
 
+// NewWAN wraps inner in a wide-area link profile: each Send occupies the
+// link for stall (the one-way propagation delay — half the RTT, so one
+// request/reply round trip costs a full RTT) plus the frame's serialization
+// time at bytesPerSec. Asymmetric links are modelled by wrapping each
+// direction's sending side in its own NewWAN with that direction's rate —
+// Latent only ever delays Send, so the uplink and downlink profiles never
+// interfere. bytesPerSec <= 0 keeps the pure per-frame stall of NewLatent.
+func NewWAN(inner Conn, stall time.Duration, bytesPerSec int64) *Latent {
+	return &Latent{inner: inner, stall: stall, bps: bytesPerSec}
+}
+
 // Send implements Conn.
 func (l *Latent) Send(m Message) error {
+	occupy := l.stall
+	if l.bps > 0 {
+		occupy += time.Duration(float64(m.FrameSize()) / float64(l.bps) * float64(time.Second))
+	}
 	l.mu.Lock()
 	now := time.Now()
 	if l.nextFree.Before(now) {
 		l.nextFree = now
 	}
-	l.nextFree = l.nextFree.Add(l.stall)
+	l.nextFree = l.nextFree.Add(occupy)
 	wait := l.nextFree.Sub(now)
 	l.mu.Unlock()
 	if wait >= latentQuantum {

@@ -139,6 +139,23 @@ const (
 	// The peer serves only content its index verifies on read, so a stale
 	// or corrupt copy degrades to a miss, never to wrong bytes.
 	MsgSwarmBlock
+	// MsgDeltaSig drives the delta-encoding round trip (negotiated WAN
+	// delta transfer, WIRE.md §12). Source → destination with an empty
+	// payload it requests the signature of the destination's current
+	// content for the extent packed in Arg; destination → source it answers
+	// with the marshaled chunk signature. Arg 0 — unreachable for a real
+	// extent — is the end-of-pass fence: the destination echoes it after
+	// every earlier patch has been applied or refused, bounding the window
+	// in which a MsgDeltaPatch refusal can arrive.
+	MsgDeltaSig
+	// MsgDeltaPatch carries delta-encoded extent content. Source →
+	// destination the payload is a COPY/LITERAL op stream (internal/delta
+	// patch format) the destination applies against its current content,
+	// verifying the patch's embedded strong hash before any byte lands;
+	// destination → source an empty payload echoing the extent Arg refuses
+	// a patch whose verification failed, and the source re-sends that
+	// extent literally before ending the pass — degraded, never wrong.
+	MsgDeltaPatch
 )
 
 // String implements fmt.Stringer.
@@ -155,6 +172,7 @@ func (t MsgType) String() string {
 		MsgSessionResume: "SESSION_RESUME", MsgSessionAck: "SESSION_ACK",
 		MsgHashAdvert: "HASH_ADVERT", MsgHashWant: "HASH_WANT", MsgBlockRef: "BLOCK_REF",
 		MsgSwarmHello: "SWARM_HELLO", MsgSwarmFetch: "SWARM_FETCH", MsgSwarmBlock: "SWARM_BLOCK",
+		MsgDeltaSig: "DELTA_SIG", MsgDeltaPatch: "DELTA_PATCH",
 	}
 	if s, ok := names[t]; ok {
 		return s
