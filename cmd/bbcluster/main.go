@@ -7,6 +7,7 @@
 //	bbcluster [flags] status            fleet table: loads, caps, budget share
 //	bbcluster [flags] drain <host>      evacuate every domain off <host>
 //	bbcluster [flags] rebalance         even out domain counts fleet-wide
+//	bbcluster [flags] autopilot         run the continuous rebalance loop until the fleet is even
 //
 // Useful flags: -hosts/-domains size the fleet, -budget-mb sets the global
 // pre-copy budget the in-flight migrations share, -max-total/-per-host set
@@ -17,7 +18,10 @@
 // additionally fans each dedup'd migration's want-set across peer machines
 // nominated by content overlap (up to -swarm-peers sidecar serve sessions,
 // paced from the shared budget), and -live runs the synthetic guest
-// workloads during the verb.
+// workloads during the verb. -forecast feeds heartbeat write counters into
+// per-domain dirty-rate models and parks normal-priority migrations in
+// predicted write troughs; -ap-interval, -ap-moves, and -ap-timeout shape
+// the autopilot verb's control loop.
 package main
 
 import (
@@ -59,11 +63,15 @@ func run(args []string, out io.Writer) error {
 	retries := fs.Int("retries", cluster.DefaultDrainRetries, "per-migration reconnect/resume budget")
 	live := fs.Bool("live", false, "run the synthetic guest workloads during the verb")
 	seed := fs.Int64("seed", 1, "workload seed")
+	forecast := fs.Bool("forecast", false, "feed heartbeat write counters into per-domain dirty-rate models and defer normal-priority migrations into predicted write troughs")
+	apInterval := fs.Duration("ap-interval", 50*time.Millisecond, "autopilot control-loop cadence")
+	apMoves := fs.Int("ap-moves", cluster.DefaultAutopilotMoves, "autopilot in-flight move cap")
+	apTimeout := fs.Duration("ap-timeout", 30*time.Second, "give up if the autopilot has not evened the fleet by then")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("usage: bbcluster [flags] status | drain <host> | rebalance")
+		return fmt.Errorf("usage: bbcluster [flags] status | drain <host> | rebalance | autopilot")
 	}
 	verb := fs.Arg(0)
 
@@ -73,6 +81,7 @@ func run(args []string, out io.Writer) error {
 		MaxTotal:        *maxTotal,
 		Swarm:           *swarmFlag,
 		SwarmPeers:      *swarmPeers,
+		Forecast:        *forecast,
 		BaseConfig:      core.Config{MaxExtentBlocks: 64, MaxRetries: *retries, Dedup: *dedupFlag},
 	})
 	var machines []*hostd.Machine
@@ -129,8 +138,25 @@ func run(args []string, out io.Writer) error {
 		for _, mv := range res.Moves {
 			printMove(out, mv)
 		}
+	case "autopilot":
+		ap := c.StartAutopilot(cluster.AutopilotOptions{Interval: *apInterval, MaxMovesPerCycle: *apMoves})
+		deadline := time.Now().Add(*apTimeout)
+		for {
+			if st := ap.Stats(); st.Cycles > 0 && st.InFlight == 0 && fleetSpread(c) <= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				ap.Stop()
+				return fmt.Errorf("autopilot did not even the fleet within %v: %+v", *apTimeout, ap.Stats())
+			}
+			time.Sleep(*apInterval)
+		}
+		ap.Stop()
+		st := ap.Stats()
+		fmt.Fprintf(out, "\nautopilot evened the fleet in %v: %d cycles, %d/%d planned moves completed, %d failed\n",
+			time.Since(start).Round(time.Millisecond), st.Cycles, st.Completed, st.Submitted, st.Failed)
 	default:
-		return fmt.Errorf("unknown verb %q (want status, drain, or rebalance)", verb)
+		return fmt.Errorf("unknown verb %q (want status, drain, rebalance, or autopilot)", verb)
 	}
 	for _, m := range machines {
 		stopWorkloads(m)
@@ -180,6 +206,27 @@ func printMove(out io.Writer, mv cluster.Move) {
 		}
 	}
 	fmt.Fprintln(out, line)
+}
+
+// fleetSpread returns the domain-count spread across schedulable members.
+func fleetSpread(c *cluster.Cluster) int {
+	st := c.Status()
+	lo, hi := 1<<30, 0
+	for _, m := range st.Members {
+		if m.Draining || m.Stale {
+			continue
+		}
+		if m.Load.Domains < lo {
+			lo = m.Load.Domains
+		}
+		if m.Load.Domains > hi {
+			hi = m.Load.Domains
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
 }
 
 // printStatus renders the fleet table.

@@ -48,3 +48,23 @@ func TestStatusVerbAndErrors(t *testing.T) {
 		t.Fatal("missing verb accepted")
 	}
 }
+
+func TestAutopilotVerb(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-hosts", "3", "-domains", "6", "-blocks", "256", "-pages", "16",
+		"-forecast", "-ap-moves", "4", "autopilot"}, &out)
+	if err != nil {
+		t.Fatalf("autopilot verb: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "autopilot evened the fleet") {
+		t.Fatalf("output missing autopilot summary:\n%s", s)
+	}
+	// The closing status table must show the even fleet: 2 domains each.
+	tail := s[strings.LastIndex(s, "fleet status"):]
+	for _, host := range []string{"host1", "host2", "host3"} {
+		if !strings.Contains(tail, host+"  2") {
+			t.Fatalf("final status not even at %s:\n%s", host, tail)
+		}
+	}
+}

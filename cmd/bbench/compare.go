@@ -41,6 +41,15 @@ const headlinePrefix = "MigrateModeledLink/"
 // multiplies fast.
 var allocGatePrefixes = []string{"MigrateModeledLink/", "MigrateTCP/", "MigrateWAN/", "SnapshotScan/"}
 
+// metricGates lists deterministic simulator metrics the gate enforces,
+// higher-is-better: a drop beyond the tolerance fails the build. The fleet
+// row pins the autopilot's headline — predictive drain speedup over
+// reactive on the diurnal shape — so a forecaster or policy regression is a
+// red check, not a quiet table change.
+var metricGates = map[string]string{
+	"SimFleetSweep/diurnal-predictive": "speedup",
+}
+
 // loadBenchFile reads a BENCH_*.json snapshot. Any schema in the
 // "bbmig-bench/v1" family is accepted — v1 snapshots simply carry no
 // allocs_per_op, and the alloc gate skips rows the baseline lacks.
@@ -158,10 +167,45 @@ func compareBench(newPath, basePath string, maxRegressPct float64) error {
 			name, base, got, growth, status)
 	}
 
+	// Deterministic metric floors: gated only when the baseline carries the
+	// row, so a pre-fleet baseline still compares clean.
+	metric := func(f *benchFile, name, key string) (float64, bool) {
+		for _, b := range f.Benchmarks {
+			if b.Name == name {
+				v, ok := b.Metrics[key]
+				return v, ok
+			}
+		}
+		return 0, false
+	}
+	metricChecked := 0
+	for name, key := range metricGates {
+		base, ok := metric(baseFile, name, key)
+		if !ok || base <= 0 {
+			continue
+		}
+		metricChecked++
+		got, ok := metric(newFile, name, key)
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: metric %q missing from %s", name, key, newPath))
+			continue
+		}
+		drop := (base - got) / base * 100
+		status := "ok"
+		if drop > maxRegressPct {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %s %.2f vs baseline %.2f (-%.1f%%, tolerance %.0f%%)",
+					name, key, got, base, drop, maxRegressPct))
+		}
+		fmt.Printf("gate %-44s base %9.2f %-9s  now %9.2f  (%+.1f%%) %s\n",
+			name, base, key, got, -drop, status)
+	}
+
 	if len(failures) > 0 {
 		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
-	fmt.Printf("bench gate passed: %d throughput + %d allocation benchmarks within %.0f%% of %s\n",
-		checked, allocChecked, maxRegressPct, basePath)
+	fmt.Printf("bench gate passed: %d throughput + %d allocation + %d metric benchmarks within %.0f%% of %s\n",
+		checked, allocChecked, metricChecked, maxRegressPct, basePath)
 	return nil
 }

@@ -454,6 +454,22 @@ func runJSON(path string, seed int64) error {
 		})
 	}
 
+	// Fleet autopilot headline at the CI shape: small enough to stay
+	// second-scale, large enough that the diurnal speedup is stable.
+	fleetRows, _ := sim.FleetSweep(seed, 40, 2000)
+	for _, r := range fleetRows {
+		out.Benchmarks = append(out.Benchmarks, benchResult{
+			Name: "SimFleetSweep/" + r.Shape + "-" + r.Policy,
+			Metrics: map[string]float64{
+				"makespan_s":       r.Makespan.Seconds(),
+				"mean_downtime_ms": float64(r.MeanDowntime.Milliseconds()),
+				"high_starts":      float64(r.HighStarts),
+				"retrans_gb":       float64(r.RetransBlocks) * blockdev.BlockSize / 1e9,
+				"speedup":          r.Speedup,
+			},
+		})
+	}
+
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

@@ -29,7 +29,10 @@ import (
 	"sync"
 	"time"
 
+	"bbmig/internal/blockdev"
+	"bbmig/internal/clock"
 	"bbmig/internal/core"
+	"bbmig/internal/forecast"
 	"bbmig/internal/hostd"
 )
 
@@ -52,6 +55,16 @@ const (
 	// zero: three peers, enough to out-aggregate a single source uplink
 	// without fanning every migration across the whole fleet.
 	DefaultSwarmPeers = 3
+	// DefaultForecastHorizon is how far ahead admission looks for a
+	// write-rate trough when Options.Forecast is on and ForecastHorizon is
+	// zero.
+	DefaultForecastHorizon = time.Hour
+	// DefaultTroughRatio is the deferral trigger when Options.TroughRatio
+	// is zero: a queued low/normal-priority job is pushed into a predicted
+	// trough only when the domain's current predicted rate exceeds the
+	// trough rate by this factor — anything flatter is not worth waiting
+	// for.
+	DefaultTroughRatio = 2.0
 )
 
 // Options configures a Cluster. The zero value is usable: unlimited
@@ -118,6 +131,25 @@ type Options struct {
 	// accounting; nil selects time.Now. (Migrations themselves run on
 	// BaseConfig.Clock as usual.)
 	Now func() time.Time
+
+	// Forecast enables per-domain dirty-rate models: every heartbeat's
+	// DomainWrites counters become rate observations, and admission defers
+	// low/normal-priority jobs into predicted write-rate troughs (see
+	// ForecastHorizon and TroughRatio). Evacuate- and high-priority jobs
+	// are never deferred — maintenance outranks interference avoidance.
+	Forecast bool
+
+	// ForecastConfig tunes the per-domain models when Forecast is on; the
+	// zero value selects forecast's defaults.
+	ForecastConfig forecast.Config
+
+	// ForecastHorizon bounds how far into the future admission will defer
+	// a job to reach a trough; zero selects DefaultForecastHorizon.
+	ForecastHorizon time.Duration
+
+	// TroughRatio is the minimum current-rate/trough-rate ratio before
+	// admission defers a job; zero selects DefaultTroughRatio.
+	TroughRatio float64
 }
 
 func (o Options) withDefaults() Options {
@@ -135,6 +167,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Now == nil {
 		o.Now = time.Now
+	}
+	if o.ForecastHorizon <= 0 {
+		o.ForecastHorizon = DefaultForecastHorizon
+	}
+	if o.TroughRatio <= 0 {
+		o.TroughRatio = DefaultTroughRatio
 	}
 	return o
 }
@@ -157,12 +195,14 @@ type member struct {
 type Cluster struct {
 	opts   Options
 	budget *core.RateBudget
+	start  time.Time // timeline origin for forecast observations
 
 	mu      sync.Mutex
 	members map[string]*member
 	pending []*Ticket // priority-ordered queue (see scheduler.go)
 	running int
 	seq     uint64
+	models  map[string]*forecast.Model // per-domain dirty-rate models (Forecast on)
 }
 
 // New returns an empty cluster.
@@ -171,7 +211,9 @@ func New(opts Options) *Cluster {
 	return &Cluster{
 		opts:    opts,
 		budget:  core.NewRateBudget(opts.GlobalBandwidth),
+		start:   opts.Now(),
 		members: make(map[string]*member),
+		models:  make(map[string]*forecast.Model),
 	}
 }
 
@@ -226,10 +268,79 @@ func (c *Cluster) Heartbeat(name string) (hostd.Load, error) {
 	return m.load, nil
 }
 
-// heartbeatLocked refreshes one member under c.mu.
+// heartbeatLocked refreshes one member under c.mu and, with Forecast on,
+// feeds the per-domain dirty-rate models from the load report's cumulative
+// write counters.
 func (c *Cluster) heartbeatLocked(m *member) {
 	m.load = m.machine.Load()
 	m.lastBeat = c.opts.Now()
+	if !c.opts.Forecast {
+		return
+	}
+	at := m.lastBeat.Sub(c.start)
+	for name, writes := range m.load.DomainWrites {
+		mdl := c.models[name]
+		if mdl == nil {
+			mdl = forecast.NewModel(c.opts.ForecastConfig)
+			c.models[name] = mdl
+		}
+		mdl.ObserveCount(at, writes)
+	}
+}
+
+// HeartbeatAll refreshes every member's load report (and forecast feed) in
+// one pass — the autopilot's per-cycle observation step.
+func (c *Cluster) HeartbeatAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		c.heartbeatLocked(m)
+	}
+}
+
+// DomainModel returns the named domain's dirty-rate model, if Forecast is
+// on and at least one heartbeat has reported the domain. The model is live
+// and safe for concurrent use.
+func (c *Cluster) DomainModel(domain string) (*forecast.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.models[domain]
+	return m, ok
+}
+
+// PredictMigration forecasts the named domain's pre-copy outcome if a
+// migration started now at the budget's current per-migration share: the
+// (domain, link-share) convergence question the paper's §IV stop rules
+// answer reactively, answered ahead of time. The hot set is unknown at
+// this layer, so the prediction conservatively lets writes spread over the
+// whole disk.
+func (c *Cluster) PredictMigration(domain string) (forecast.Convergence, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mdl, ok := c.models[domain]
+	if !ok {
+		return forecast.Convergence{}, fmt.Errorf("cluster: no forecast model for domain %q", domain)
+	}
+	var blocks int64
+	for _, m := range c.members {
+		if d, hosted := m.machine.Domain(domain); hosted {
+			blocks = int64(d.Disk().NumBlocks())
+			break
+		}
+	}
+	if blocks == 0 {
+		return forecast.Convergence{}, fmt.Errorf("cluster: domain %q not hosted anywhere", domain)
+	}
+	share := c.budget.Share()
+	rate := float64(share) / blockdev.BlockSize
+	if share == clock.Unlimited {
+		rate = DefaultLinkBps / blockdev.BlockSize
+	}
+	return mdl.PredictConvergence(forecast.MigrationParams{
+		StartAt:      c.opts.Now().Sub(c.start),
+		Blocks:       int(blocks),
+		BlocksPerSec: rate,
+	}), nil
 }
 
 // aliveLocked reports whether a member's heartbeat is fresh enough to
@@ -280,6 +391,9 @@ type Status struct {
 	Members []MemberStatus
 	// Queued and Running count scheduler jobs in each state.
 	Queued, Running int
+	// Deferred counts the queued jobs currently held for a NotBefore time
+	// (explicit or trough-stamped); they are included in Queued.
+	Deferred int
 	// ShareBps is the current per-migration bandwidth share
 	// (clock.Unlimited when no budget is set).
 	ShareBps int64
@@ -291,9 +405,13 @@ func (c *Cluster) Status() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Status{Running: c.running, ShareBps: c.budget.Share()}
+	now := c.opts.Now()
 	for _, t := range c.pending {
 		if t.State() == JobQueued {
 			st.Queued++
+			if nb := t.NotBefore(); !nb.IsZero() && now.Before(nb) {
+				st.Deferred++
+			}
 		}
 	}
 	names := make([]string, 0, len(c.members))

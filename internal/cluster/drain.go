@@ -168,17 +168,17 @@ type RebalanceResult struct {
 	Moves []Move
 }
 
-// Rebalance evens domain counts across schedulable members: while the
-// spread between the most- and least-loaded eligible host exceeds one
-// domain, it moves one domain from the fullest host to the emptiest, then
-// waits for every submitted move. Draining, stale, and excluded hosts
-// neither give nor receive.
-func (c *Cluster) Rebalance(exclude ...string) (*RebalanceResult, error) {
-	ex := make(map[string]bool, len(exclude))
-	for _, n := range exclude {
-		ex[n] = true
-	}
+// planned is one spread-closing move a rebalance plan proposes.
+type planned struct{ domain, from, to string }
 
+// rebalancePlan heartbeats the schedulable members and greedily plans
+// spread-≤1 moves against the fresh snapshot: while the spread between the
+// most- and least-loaded eligible host exceeds one domain, ship one domain
+// from the fullest host to the emptiest. Draining, stale, skipped, and
+// excluded hosts neither give nor receive; skip lists domains not to plan
+// (the autopilot's in-flight set). The plan is deterministic for a given
+// snapshot: hosts tie-break by name, domains are claimed in name order.
+func (c *Cluster) rebalancePlan(exclude map[string]bool, skip map[string]bool) []planned {
 	// Plan against a consistent snapshot of fresh loads.
 	c.mu.Lock()
 	type hostCount struct {
@@ -188,7 +188,7 @@ func (c *Cluster) Rebalance(exclude ...string) (*RebalanceResult, error) {
 	}
 	var hosts []hostCount
 	for _, m := range c.members {
-		if ex[m.name] || m.draining || !c.aliveLocked(m) {
+		if exclude[m.name] || m.draining || !c.aliveLocked(m) {
 			continue
 		}
 		c.heartbeatLocked(m)
@@ -196,14 +196,11 @@ func (c *Cluster) Rebalance(exclude ...string) (*RebalanceResult, error) {
 	}
 	c.mu.Unlock()
 	if len(hosts) < 2 {
-		return &RebalanceResult{}, nil
+		return nil
 	}
 	sort.Slice(hosts, func(i, j int) bool { return hosts[i].name < hosts[j].name })
 
-	// Greedy plan: repeatedly ship one domain from the fullest to the
-	// emptiest host until the spread closes to <= 1.
 	taken := make(map[string]int) // domains already claimed per source
-	type planned struct{ domain, from, to string }
 	var plan []planned
 	for {
 		hi, lo := 0, 0
@@ -220,15 +217,37 @@ func (c *Cluster) Rebalance(exclude ...string) (*RebalanceResult, error) {
 		}
 		names := hosts[hi].machine.Domains()
 		sort.Strings(names)
-		if taken[hosts[hi].name] >= len(names) {
-			break // nothing left to claim (loads moved under us)
+		claimed := false
+		for taken[hosts[hi].name] < len(names) {
+			d := names[taken[hosts[hi].name]]
+			taken[hosts[hi].name]++
+			if skip[d] {
+				continue
+			}
+			plan = append(plan, planned{d, hosts[hi].name, hosts[lo].name})
+			claimed = true
+			break
 		}
-		d := names[taken[hosts[hi].name]]
-		taken[hosts[hi].name]++
-		plan = append(plan, planned{d, hosts[hi].name, hosts[lo].name})
+		if !claimed {
+			break // nothing left to claim (loads moved under us, or all skipped)
+		}
 		hosts[hi].count--
 		hosts[lo].count++
 	}
+	return plan
+}
+
+// Rebalance evens domain counts across schedulable members: while the
+// spread between the most- and least-loaded eligible host exceeds one
+// domain, it moves one domain from the fullest host to the emptiest, then
+// waits for every submitted move. Draining, stale, and excluded hosts
+// neither give nor receive.
+func (c *Cluster) Rebalance(exclude ...string) (*RebalanceResult, error) {
+	ex := make(map[string]bool, len(exclude))
+	for _, n := range exclude {
+		ex[n] = true
+	}
+	plan := c.rebalancePlan(ex, nil)
 
 	res := &RebalanceResult{}
 	var tickets []*Ticket

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"bbmig/internal/clock"
 	"bbmig/internal/core"
@@ -63,6 +64,11 @@ type Job struct {
 	// Config, when non-nil, replaces the cluster's BaseConfig for this job
 	// (the scheduler still wraps its Policy in the shared-budget decorator).
 	Config *core.Config
+	// NotBefore, when non-zero, holds the job in the queue until that
+	// time: the caller's own trough plan. With Options.Forecast on and
+	// NotBefore zero, admission stamps its own deferral from the domain's
+	// predicted trough (low/normal priority only).
+	NotBefore time.Time
 }
 
 // JobState is a Ticket's lifecycle position.
@@ -106,14 +112,17 @@ type Ticket struct {
 	seq uint64
 	job Job
 
-	mu     sync.Mutex
-	state  JobState
-	target string
-	report *metrics.Report
-	sync   *hostd.SyncReport
-	syncE  error
-	err    error
-	done   chan struct{}
+	mu        sync.Mutex
+	state     JobState
+	target    string
+	report    *metrics.Report
+	sync      *hostd.SyncReport
+	syncE     error
+	err       error
+	done      chan struct{}
+	notBefore time.Time // resolved deferral (explicit or trough-stamped)
+	deferEval bool      // trough deferral decided (it is decided once)
+	wakeArmed bool      // a re-dispatch timer for notBefore exists
 }
 
 // Job returns the submitted job (To as submitted; see Target for the
@@ -132,6 +141,15 @@ func (t *Ticket) Target() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.target
+}
+
+// NotBefore returns the job's resolved earliest-start time: the submitted
+// Job.NotBefore, or the trough admission stamped onto it (zero when the job
+// is free to start immediately).
+func (t *Ticket) NotBefore() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.notBefore
 }
 
 // Report returns the source-side migration report (nil until JobDone, and on
@@ -218,7 +236,7 @@ func (c *Cluster) Submit(job Job) (*Ticket, error) {
 		}
 	}
 	c.seq++
-	t := &Ticket{c: c, seq: c.seq, job: job, done: make(chan struct{})}
+	t := &Ticket{c: c, seq: c.seq, job: job, done: make(chan struct{}), notBefore: job.NotBefore}
 	c.pending = append(c.pending, t)
 	sort.SliceStable(c.pending, func(i, j int) bool {
 		if c.pending[i].job.Priority != c.pending[j].job.Priority {
@@ -248,9 +266,73 @@ func (c *Cluster) dispatchLocked() {
 	c.pending = kept
 }
 
+// Dispatch re-runs admission control over the queue immediately. The
+// scheduler calls it on every submit, completion, and deferral expiry;
+// exporting it lets control loops (and tests driving a synthetic
+// Options.Now) force re-evaluation after time or load they control has
+// moved.
+func (c *Cluster) Dispatch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dispatchLocked()
+}
+
+// deferredLocked reports whether t must keep waiting for its earliest-start
+// time. On the first admission attempt of a low/normal-priority job with
+// Forecast on, it also decides — once — whether to stamp a predicted-trough
+// deferral onto the ticket: if the domain's current predicted write rate
+// exceeds the predicted trough rate by Options.TroughRatio, starting now
+// would balloon the pre-copy's retransfers (§IV: the dirty rate would catch
+// the transfer rate sooner), so the job waits for the trough instead. A
+// deferred ticket arms a one-shot timer to re-dispatch when its time comes.
+func (c *Cluster) deferredLocked(t *Ticket) bool {
+	now := c.opts.Now()
+	t.mu.Lock()
+	if !t.deferEval {
+		t.deferEval = true
+		if t.notBefore.IsZero() && c.opts.Forecast && t.job.Priority <= PriorityNormal {
+			if until, ok := c.troughLocked(t.job.Domain, now); ok {
+				t.notBefore = until
+			}
+		}
+	}
+	nb := t.notBefore
+	armed := t.wakeArmed
+	if !nb.IsZero() && now.Before(nb) && !armed {
+		t.wakeArmed = true
+	}
+	t.mu.Unlock()
+	if nb.IsZero() || !now.Before(nb) {
+		return false
+	}
+	if !armed {
+		time.AfterFunc(nb.Sub(now), c.Dispatch)
+	}
+	return true
+}
+
+// troughLocked asks the domain's forecast model whether now is a bad time
+// to migrate, returning the predicted trough time when deferral is worth it.
+func (c *Cluster) troughLocked(domain string, now time.Time) (time.Time, bool) {
+	mdl, ok := c.models[domain]
+	if !ok || mdl.Samples() < 16 {
+		return time.Time{}, false // not enough history to disagree with "now"
+	}
+	at := now.Sub(c.start)
+	cur := mdl.RateAt(at)
+	troughAt, troughRate := mdl.NextTrough(at, c.opts.ForecastHorizon)
+	if troughAt <= at || cur <= c.opts.TroughRatio*troughRate+1e-9 {
+		return time.Time{}, false
+	}
+	return c.start.Add(troughAt), true
+}
+
 // admitLocked starts t if admission control allows, reporting whether it
 // left the queue.
 func (c *Cluster) admitLocked(t *Ticket) bool {
+	if c.deferredLocked(t) {
+		return false
+	}
 	if c.running >= c.opts.MaxTotal {
 		return false
 	}

@@ -41,6 +41,13 @@ type Load struct {
 	// positionally incremental (the vault) and content-deduplicable (the
 	// fingerprint index).
 	Retained []string
+	// DomainWrites maps each hosted domain to its backend's cumulative
+	// block-write counter. Successive heartbeats turn the deltas into
+	// dirty-rate observations — the raw feed of the cluster layer's
+	// forecast models. The counter restarts from zero when a domain
+	// migrates (the destination builds a fresh backend); consumers treat a
+	// backwards step as a restart.
+	DomainWrites map[string]int64
 }
 
 // Load reports the machine's current utilization.
@@ -51,13 +58,15 @@ func (m *Machine) Load() Load {
 		Domains:          len(m.domains),
 		ActiveMigrations: len(m.migrating),
 		RetainedDisks:    len(m.retained),
+		DomainWrites:     make(map[string]int64, len(m.domains)),
 	}
 	for name := range m.retained {
 		l.Retained = append(l.Retained, name)
 	}
 	sort.Strings(l.Retained)
-	for _, d := range m.domains {
+	for name, d := range m.domains {
 		l.Blocks += int64(d.disk.NumBlocks())
+		l.DomainWrites[name] = d.backend.Stats().Writes
 	}
 	return l
 }

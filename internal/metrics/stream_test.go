@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStreamStats checks the single-pass moments against direct computation
+// and the Merge combine against one sequential pass.
+func TestStreamStats(t *testing.T) {
+	var empty StreamStats
+	if empty.Count() != 0 || empty.Mean() != 0 || empty.Std() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatalf("zero value not empty: %+v", empty)
+	}
+
+	// A deterministic, not-too-nice sequence.
+	var xs []float64
+	x := 0.5
+	for i := 0; i < 1000; i++ {
+		x = 3.9 * x * (1 - x) // logistic map: chaotic but reproducible
+		xs = append(xs, 100*x-25)
+	}
+
+	var s StreamStats
+	var sum float64
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		s.Add(v)
+		sum += v
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	mean := sum / float64(len(xs))
+	var m2 float64
+	for _, v := range xs {
+		m2 += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(m2 / float64(len(xs)))
+
+	if s.Count() != int64(len(xs)) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(xs))
+	}
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Fatalf("Mean = %g, want %g", s.Mean(), mean)
+	}
+	if math.Abs(s.Std()-std) > 1e-9 {
+		t.Fatalf("Std = %g, want %g", s.Std(), std)
+	}
+	if s.Min() != min || s.Max() != max {
+		t.Fatalf("Min/Max = %g/%g, want %g/%g", s.Min(), s.Max(), min, max)
+	}
+
+	// Merging two halves must equal the single pass, and merging an empty
+	// accumulator either way must be a no-op.
+	var a, b StreamStats
+	for i, v := range xs {
+		if i < len(xs)/3 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != s.Count() || math.Abs(a.Mean()-s.Mean()) > 1e-9 || math.Abs(a.Std()-s.Std()) > 1e-9 ||
+		a.Min() != s.Min() || a.Max() != s.Max() {
+		t.Fatalf("merged halves %+v != sequential %+v", a, s)
+	}
+	before := a
+	a.Merge(&empty)
+	if a != before {
+		t.Fatalf("merging empty changed state: %+v -> %+v", before, a)
+	}
+	empty.Merge(&a)
+	if empty != a {
+		t.Fatalf("merge into empty != copy: %+v vs %+v", empty, a)
+	}
+}

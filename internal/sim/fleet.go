@@ -1,0 +1,524 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bbmig/internal/blockdev"
+	"bbmig/internal/forecast"
+	"bbmig/internal/metrics"
+)
+
+// The fleet model. Where ClusterSweep drains one paper-testbed host at full
+// engine fidelity, FleetSweep answers the autopilot's question at datacenter
+// scale: across hundreds of hosts and ten thousand domains with time-varying
+// write rates, how much does forecast-driven scheduling — migrate each
+// domain in a predicted write-rate trough instead of whenever a slot frees —
+// buy in drain makespan, downtime, and interference (blocks re-sent because
+// the guest dirtied them mid-copy)?
+//
+// The model trades the engine's block-level machinery for a closed-form
+// replay of its §IV iteration law, the same one forecast.PredictConvergence
+// uses: each pre-copy iteration ships the previous iteration's dirty set at
+// the migration's bandwidth share while the guest dirties
+// hot·(1−exp(−writes/hot)) unique blocks, and the final set travels in the
+// freeze window. That keeps a 10 000-domain sweep inside a second-scale
+// wall-time budget, and every per-domain outcome streams straight into
+// metrics.StreamStats accumulators — nothing per-domain is materialized.
+//
+// Each domain's write process is hashed from the sweep seed (size, hot set,
+// rates, phase), so a seed pins the whole fleet: same seed, same rows.
+
+// FleetShape selects the fleet's write-rate time profile.
+type FleetShape int
+
+const (
+	// FleetDiurnal gives every domain a square wave — half the period at a
+	// high rate near its migration's bandwidth share, half near idle — with
+	// a hashed phase, the datacenter day/night pattern trough scheduling
+	// exists for.
+	FleetDiurnal FleetShape = iota
+	// FleetConstant gives every domain a flat moderate rate: no troughs to
+	// find, so predictive and reactive scheduling should tie — the sweep's
+	// control arm.
+	FleetConstant
+	// FleetBursty gives every domain short hashed bursts over a near-idle
+	// floor: unforecastable at heartbeat grain, so prediction degrades to
+	// the long-run mean and buys little.
+	FleetBursty
+)
+
+// String names the shape for row labels.
+func (s FleetShape) String() string {
+	switch s {
+	case FleetDiurnal:
+		return "diurnal"
+	case FleetConstant:
+		return "constant"
+	case FleetBursty:
+		return "bursty"
+	}
+	return fmt.Sprintf("shape(%d)", int(s))
+}
+
+// Fleet model constants: the engine stop conditions mirror Defaults, the
+// trough test mirrors cluster.DefaultTroughRatio.
+const (
+	fleetMaxIters       = 4
+	fleetDirtyThreshold = 8
+	fleetFixedDowntime  = 30 * time.Millisecond
+	fleetTroughRatio    = 2.0
+)
+
+// FleetParams parameterizes one fleet drain simulation.
+type FleetParams struct {
+	// Seed pins every hashed per-domain parameter.
+	Seed int64
+	// Hosts and Domains size the fleet; domain i lives on host i mod Hosts,
+	// and the first Hosts/5 hosts (at least one) are drained.
+	Hosts, Domains int
+	// Shape selects the write-rate profile.
+	Shape FleetShape
+	// Predictive selects the scheduling policy: false migrates each host's
+	// domains in index order as slots free (reactive); true feeds a
+	// forecast.Model per domain from warmup heartbeats and starts each
+	// migration on the quietest candidate, waiting for the earliest
+	// predicted trough when every candidate is loud.
+	Predictive bool
+
+	// LinkBps is each draining host's uplink; zero selects the paper's
+	// effective rate (Defaults().NetBytesPerSec).
+	LinkBps float64
+	// PerHostCap is the concurrent-migration cap per draining host; each
+	// migration runs at the steady-state fair share LinkBps/PerHostCap.
+	// Zero selects 4, the knee ClusterSweep finds.
+	PerHostCap int
+	// Heartbeat is the observation cadence warmup counters arrive at; zero
+	// selects 30 s.
+	Heartbeat time.Duration
+	// Period is the diurnal square-wave period — the sim's compressed
+	// "day", scaled so a drain spans several troughs the way a real drain
+	// spans several off-peak windows; zero selects 20 min.
+	Period time.Duration
+	// WarmupPeriods is how many periods of heartbeat history the forecast
+	// models see before the drain begins; zero selects 3 (enough that the
+	// period lag sits well inside the autocorrelation scan).
+	WarmupPeriods int
+}
+
+// withFleetDefaults fills zero fields.
+func (p FleetParams) withFleetDefaults() FleetParams {
+	if p.LinkBps <= 0 {
+		p.LinkBps = Defaults(0).NetBytesPerSec
+	}
+	if p.PerHostCap <= 0 {
+		p.PerHostCap = 4
+	}
+	if p.Heartbeat <= 0 {
+		p.Heartbeat = 30 * time.Second
+	}
+	if p.Period <= 0 {
+		p.Period = 20 * time.Minute
+	}
+	if p.WarmupPeriods <= 0 {
+		p.WarmupPeriods = 3
+	}
+	return p
+}
+
+// FleetRow is one (shape, policy) arm's outcome.
+type FleetRow struct {
+	// Shape and Policy label the arm ("diurnal", "predictive", ...).
+	Shape, Policy string
+	// Hosts, Domains, Drained, and Migrations restate the arm's scale
+	// (Migrations = domains hosted on the Drained hosts).
+	Hosts, Domains, Drained, Migrations int
+	// Makespan is the slowest draining host's evacuation duration.
+	Makespan time.Duration
+	// MeanDuration averages per-migration wall time (pre-copy + freeze).
+	MeanDuration time.Duration
+	// MeanDowntime and MaxDowntime aggregate the per-VM freeze windows.
+	MeanDowntime, MaxDowntime time.Duration
+	// HighStarts counts migrations that began while their domain wrote in
+	// its high phase — the interference the predictive policy exists to
+	// avoid.
+	HighStarts int
+	// RetransBlocks counts blocks sent beyond each image's size: pre-copy
+	// re-sends plus the freeze-window copy, the wire cost of migrating a
+	// writing guest.
+	RetransBlocks int64
+	// Speedup, on predictive rows, is the same-shape reactive arm's
+	// makespan divided by this one's (zero on reactive rows).
+	Speedup float64
+}
+
+// fleetDomain is one domain's hashed ground truth.
+type fleetDomain struct {
+	size, hot float64 // image and rewrite-set sizes, blocks
+	high, low float64 // write rates, blocks/second
+	phase     time.Duration
+	mdl       *forecast.Model
+}
+
+// splitmix64 is the per-domain parameter hash (Steele et al.'s SplitMix64
+// finalizer): cheap, stateless, and seed-deterministic.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fleetU draws a uniform [0,1) hashed from (seed, domain, salt).
+func fleetU(seed int64, idx int, salt uint64) float64 {
+	h := splitmix64(uint64(seed) ^ saltMix(uint64(idx), salt))
+	return float64(h>>11) / (1 << 53)
+}
+
+// saltMix folds the domain index and salt into one hash input.
+func saltMix(idx, salt uint64) uint64 {
+	return splitmix64(idx*0x9e3779b97f4a7c15 + salt)
+}
+
+// newFleetDomains hashes the fleet's ground truth from the seed. The high
+// rate straddles the migration's transfer share (1.0–1.5x), so a high-phase
+// migration hits the §IV plateau and a trough migration converges in a
+// couple of iterations — the paper's convergent/divergent dichotomy.
+func newFleetDomains(p FleetParams) []fleetDomain {
+	shareBlk := p.LinkBps / float64(p.PerHostCap) / blockdev.BlockSize
+	doms := make([]fleetDomain, p.Domains)
+	for i := range doms {
+		u1 := fleetU(p.Seed, i, 1)
+		u2 := fleetU(p.Seed, i, 2)
+		u3 := fleetU(p.Seed, i, 3)
+		u4 := fleetU(p.Seed, i, 4)
+		d := &doms[i]
+		d.size = float64(1<<17) * (1 + u1) // 512 MB – 1 GB of 4 KiB blocks
+		d.hot = d.size * (0.6 + 0.15*u2)
+		d.phase = time.Duration(u4 * float64(p.Period))
+		switch p.Shape {
+		case FleetDiurnal:
+			d.high = (1.0 + 0.5*u3) * shareBlk
+			d.low = 0.01 * d.high
+		case FleetConstant:
+			d.high = (0.25 + 0.1*u3) * shareBlk
+			d.low = d.high
+		case FleetBursty:
+			d.high = (1.5 + 0.5*u3) * shareBlk
+			d.low = 0.03 * d.high
+		}
+	}
+	return doms
+}
+
+// rateAt returns domain i's true write rate at simulated time t.
+func (p FleetParams) rateAt(doms []fleetDomain, i int, t time.Duration) float64 {
+	d := &doms[i]
+	switch p.Shape {
+	case FleetConstant:
+		return d.high
+	case FleetDiurnal:
+		ph := (t + d.phase) % p.Period
+		if ph < p.Period/2 {
+			return d.high
+		}
+		return d.low
+	case FleetBursty:
+		// One heartbeat-wide burst on average every eighth beat.
+		beat := uint64((t + d.phase) / p.Heartbeat)
+		if splitmix64(uint64(p.Seed)^saltMix(uint64(i), 0x105+beat*2))%8 == 0 {
+			return d.high
+		}
+		return d.low
+	}
+	return 0
+}
+
+// writesIn integrates domain i's true write rate over [from, to) in blocks —
+// closed form for the square wave, beat-quantized for bursts.
+func (p FleetParams) writesIn(doms []fleetDomain, i int, from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	d := &doms[i]
+	switch p.Shape {
+	case FleetConstant:
+		return d.high * (to - from).Seconds()
+	case FleetDiurnal:
+		cum := func(t time.Duration) float64 {
+			sec := (t + d.phase).Seconds()
+			psec := p.Period.Seconds()
+			half := psec / 2
+			n := math.Floor(sec / psec)
+			rem := sec - n*psec
+			w := n * (d.high + d.low) * half
+			if rem <= half {
+				return w + d.high*rem
+			}
+			return w + d.high*half + d.low*(rem-half)
+		}
+		return cum(to) - cum(from)
+	case FleetBursty:
+		var w float64
+		for t := from; t < to; {
+			next := (t/p.Heartbeat + 1) * p.Heartbeat
+			if next > to {
+				next = to
+			}
+			w += p.rateAt(doms, i, t) * (next - t).Seconds()
+			t = next
+		}
+		return w
+	}
+	return 0
+}
+
+// migrate replays the §IV iteration law for one domain starting at start:
+// returns total duration (pre-copy + freeze), the freeze window, and blocks
+// sent on the wire.
+func (p FleetParams) migrate(doms []fleetDomain, i int, start time.Duration) (dur, down time.Duration, sent float64) {
+	d := &doms[i]
+	shareBlk := p.LinkBps / float64(p.PerHostCap) / blockdev.BlockSize
+	toSend := d.size
+	t := start
+	prev := math.Inf(1)
+	var pre float64
+	for iter := 1; ; iter++ {
+		step := toSend / shareBlk
+		writes := p.writesIn(doms, i, t, t+fdur(step))
+		sent += toSend
+		pre += step
+		t += fdur(step)
+		dirty := d.hot * (1 - math.Exp(-writes/d.hot))
+		if dirty <= fleetDirtyThreshold || iter >= fleetMaxIters || dirty >= prev {
+			down = fdur(dirty/shareBlk) + fleetFixedDowntime
+			sent += dirty
+			break
+		}
+		prev, toSend = dirty, dirty
+	}
+	return fdur(pre) + down, down, sent
+}
+
+// fdur converts seconds to a Duration.
+func fdur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}
+
+// warmupModels feeds every domain's forecast model the heartbeat counter
+// stream an autopilot would see: cumulative writes at Heartbeat cadence for
+// WarmupPeriods periods. Counters accumulate incrementally, so warmup is
+// O(domains × beats) regardless of shape.
+func warmupModels(p FleetParams, doms []fleetDomain) {
+	beats := int(time.Duration(p.WarmupPeriods) * p.Period / p.Heartbeat)
+	cum := make([]float64, len(doms))
+	for i := range doms {
+		doms[i].mdl = forecast.NewModel(forecast.Config{})
+	}
+	for b := 1; b <= beats; b++ {
+		at := time.Duration(b) * p.Heartbeat
+		for i := range doms {
+			cum[i] += p.writesIn(doms, i, at-p.Heartbeat, at)
+			doms[i].mdl.ObserveCount(at, int64(cum[i]))
+		}
+	}
+}
+
+// pickMigration chooses the next migration for a freed slot. Reactive takes
+// the first pending domain now. Predictive runs every candidate through the
+// trough test — quiet means its forecast rate at the slot time is within
+// fleetTroughRatio of its own predicted trough — and migrates quiet
+// candidates earliest-deadline-first: the one whose trough is predicted to
+// end soonest goes now, so no trough is wasted on a domain that had plenty
+// left. When every candidate is loud the slot asks the forecaster both
+// questions — migrate the quietest loud domain now, or idle until the
+// earliest predicted trough among the candidates and migrate there — and
+// takes whichever predicted completion is sooner. Without that comparison
+// the drain tail (domains deep in their high phase) would park slots for up
+// to half a period when pushing through costs one loud migration.
+func (p FleetParams) pickMigration(doms []fleetDomain, pending []int, now time.Duration) (pick int, startAt time.Duration) {
+	if !p.Predictive {
+		return 0, now
+	}
+	step := p.Period / 32
+	best, bestRem := -1, time.Duration(math.MaxInt64)
+	for k, i := range pending {
+		mdl := doms[i].mdl
+		troughAt, troughRate := mdl.NextTrough(now, p.Period)
+		limit := fleetTroughRatio*troughRate + 1e-9
+		if troughAt > now || mdl.RateAt(now) > limit {
+			continue // loud now
+		}
+		rem := p.Period // predicted time until the forecast leaves the trough band
+		for off := step; off <= p.Period; off += step {
+			if mdl.RateAt(now+off) > limit {
+				rem = off
+				break
+			}
+		}
+		if rem < p.predictTotal(doms, i, now) {
+			continue // trough too short to finish in — migrating would cross
+		}
+		if rem < bestRem {
+			best, bestRem = k, rem
+		}
+	}
+	if best >= 0 {
+		return best, now
+	}
+
+	// Everyone is loud: quietest-now versus earliest-trough, by predicted
+	// completion.
+	loudest, loudRate := 0, math.Inf(1)
+	for k, i := range pending {
+		if r := doms[i].mdl.RateAt(now); r < loudRate {
+			loudest, loudRate = k, r
+		}
+	}
+	wait, waitAt := -1, time.Duration(math.MaxInt64)
+	for k, i := range pending {
+		if at, _ := doms[i].mdl.NextTrough(now, p.Period); at > now && at < waitAt {
+			wait, waitAt = k, at
+		}
+	}
+	if wait < 0 {
+		return loudest, now
+	}
+	loud := p.predictTotal(doms, pending[loudest], now)
+	quiet := (waitAt - now) + p.predictTotal(doms, pending[wait], waitAt)
+	if quiet < loud {
+		return wait, waitAt
+	}
+	return loudest, now
+}
+
+// predictTotal is the forecaster's answer to "how long would migrating
+// domain i starting at startAt take": predicted pre-copy plus freeze for the
+// (domain, link-share) pair, the same call the cluster's PredictMigration
+// makes.
+func (p FleetParams) predictTotal(doms []fleetDomain, i int, startAt time.Duration) time.Duration {
+	cv := doms[i].mdl.PredictConvergence(forecast.MigrationParams{
+		StartAt:        startAt,
+		Blocks:         int(doms[i].size),
+		BlocksPerSec:   p.LinkBps / float64(p.PerHostCap) / blockdev.BlockSize,
+		MaxIterations:  fleetMaxIters,
+		DirtyThreshold: fleetDirtyThreshold,
+	})
+	return cv.PreCopyTime + cv.Downtime
+}
+
+// RunFleet simulates one drain arm and streams the outcomes into one row.
+func RunFleet(p FleetParams) FleetRow {
+	p = p.withFleetDefaults()
+	doms := newFleetDomains(p)
+	drained := p.Hosts / 5
+	if drained < 1 {
+		drained = 1
+	}
+	drainAt := time.Duration(p.WarmupPeriods) * p.Period
+	if p.Predictive {
+		warmupModels(p, doms)
+	}
+
+	var duration, downtime, retrans metrics.StreamStats
+	var makespan time.Duration
+	migrations, highStarts := 0, 0
+
+	for h := 0; h < drained; h++ {
+		var pending []int
+		for i := h; i < p.Domains; i += p.Hosts {
+			pending = append(pending, i)
+		}
+		slots := make([]time.Duration, p.PerHostCap)
+		for s := range slots {
+			slots[s] = drainAt
+		}
+		for len(pending) > 0 {
+			s := 0
+			for k := range slots {
+				if slots[k] < slots[s] {
+					s = k
+				}
+			}
+			pick, startAt := p.pickMigration(doms, pending, slots[s])
+			i := pending[pick]
+			pending = append(pending[:pick], pending[pick+1:]...)
+
+			dur, down, sent := p.migrate(doms, i, startAt)
+			slots[s] = startAt + dur
+			migrations++
+			duration.Add(dur.Seconds())
+			downtime.Add(down.Seconds())
+			retrans.Add(sent - doms[i].size)
+			if p.rateAt(doms, i, startAt) > (doms[i].high+doms[i].low)/2 {
+				highStarts++
+			}
+		}
+		for _, end := range slots {
+			if span := end - drainAt; span > makespan {
+				makespan = span
+			}
+		}
+	}
+
+	policy := "reactive"
+	if p.Predictive {
+		policy = "predictive"
+	}
+	return FleetRow{
+		Shape: p.Shape.String(), Policy: policy,
+		Hosts: p.Hosts, Domains: p.Domains, Drained: drained, Migrations: migrations,
+		Makespan:      makespan,
+		MeanDuration:  fdur(duration.Mean()),
+		MeanDowntime:  fdur(downtime.Mean()),
+		MaxDowntime:   fdur(downtime.Max()),
+		HighStarts:    highStarts,
+		RetransBlocks: int64(retrans.Mean() * float64(retrans.Count())),
+	}
+}
+
+// FleetSweep runs the reactive and predictive arms over all three shapes at
+// the given scale and stamps each predictive row's Speedup against its
+// same-shape reactive arm. The headline is the diurnal pair: trough-aware
+// scheduling should beat reactive by well over 1.5x on makespan while
+// collapsing downtime, tie on the constant control, and roughly tie on the
+// unforecastable bursty arm.
+func FleetSweep(seed int64, hosts, domains int) ([]FleetRow, *metrics.Table) {
+	var rows []FleetRow
+	for _, shape := range []FleetShape{FleetDiurnal, FleetConstant, FleetBursty} {
+		base := FleetParams{Seed: seed, Hosts: hosts, Domains: domains, Shape: shape}
+		re := RunFleet(base)
+		base.Predictive = true
+		pr := RunFleet(base)
+		if pr.Makespan > 0 {
+			pr.Speedup = float64(re.Makespan) / float64(pr.Makespan)
+		}
+		rows = append(rows, re, pr)
+	}
+
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Fleet drain sweep — %d domains, %d hosts, reactive vs predictive", domains, hosts),
+		Columns: []string{
+			"shape", "policy", "migs", "makespan (s)", "mean dur (s)",
+			"mean down (ms)", "max down (ms)", "high starts", "retrans (GB)", "speedup",
+		},
+	}
+	for _, r := range rows {
+		speedup := "-"
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2f", r.Speedup)
+		}
+		t.AddRow(r.Shape, r.Policy,
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%.0f", r.Makespan.Seconds()),
+			fmt.Sprintf("%.1f", r.MeanDuration.Seconds()),
+			fmt.Sprintf("%d", r.MeanDowntime.Milliseconds()),
+			fmt.Sprintf("%d", r.MaxDowntime.Milliseconds()),
+			fmt.Sprintf("%d", r.HighStarts),
+			fmt.Sprintf("%.1f", float64(r.RetransBlocks)*blockdev.BlockSize/1e9),
+			speedup,
+		)
+	}
+	return rows, t
+}

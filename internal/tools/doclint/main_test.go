@@ -16,6 +16,7 @@ func TestTargetPackagesDocumented(t *testing.T) {
 		".", "internal/cluster", "internal/core", "internal/hostd",
 		"internal/transport", "internal/sim", "internal/dedup",
 		"internal/delta", "internal/blockdev", "internal/blockdev/bcache",
+		"internal/forecast",
 	} {
 		findings, err := LintDir(filepath.Join(root, filepath.FromSlash(dir)))
 		if err != nil {
